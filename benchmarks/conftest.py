@@ -1,0 +1,60 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a scaled-down
+dataset size (see DESIGN.md §5).  The scale can be overridden through
+environment variables so the same harness can be pushed toward paper scale on
+a bigger machine:
+
+``REPRO_BENCH_POINTS``
+    Dataset size used by the response-time figures (default: the per-dataset
+    registry defaults divided by ``REPRO_BENCH_SHRINK``).
+``REPRO_BENCH_SHRINK``
+    Divisor applied to the registry's default scaled sizes (default 2, so the
+    full suite finishes in a few minutes).
+``REPRO_BENCH_TRIALS``
+    Timed repetitions per measurement (default 1; the paper used 3).
+
+Each benchmark writes the rendered rows/series (the textual equivalent of the
+paper's figure) to ``benchmarks/reports/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_points(default: int) -> int | None:
+    """Dataset size to use: explicit override, or default // shrink."""
+    override = os.environ.get("REPRO_BENCH_POINTS")
+    if override:
+        return int(override)
+    shrink = int(os.environ.get("REPRO_BENCH_SHRINK", "2"))
+    return max(200, default // max(1, shrink))
+
+
+def bench_trials() -> int:
+    """Timed repetitions per measurement."""
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """Directory collecting the rendered tables/series of every benchmark."""
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    """Callable fixture: write_report(name, text) persists a rendered figure."""
+
+    def _write(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _write

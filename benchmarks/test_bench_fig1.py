@@ -1,0 +1,36 @@
+"""Benchmark: Figure 1 — the R-tree motivation experiment.
+
+Panel (a): R-tree self-join time and average neighbors vs dimensionality at a
+fixed (density-rescaled) ε.  Panel (b): time vs ε on the 6-D dataset.  The
+shape to reproduce: the average neighbor count collapses with dimensionality
+while the response time stays substantial (worst at 2-D because of the huge
+result set, and degrading again with ε in 6-D as the index search widens).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import format_fig1, run_fig1a, run_fig1b
+from benchmarks.conftest import bench_points
+
+
+def test_bench_fig1a(benchmark, write_report):
+    n_points = bench_points(3000)
+
+    rows = benchmark.pedantic(lambda: run_fig1a(n_points=n_points), rounds=1, iterations=1)
+    rows_b = run_fig1b(n_points=n_points)
+    write_report("fig1", format_fig1(rows, rows_b))
+
+    # Sanity of the reproduced shape: 2-D has by far the most neighbors.
+    neighbors = {r.dimension: r.avg_neighbors for r in rows}
+    assert neighbors[2] > neighbors[6]
+    benchmark.extra_info["n_points"] = n_points
+    benchmark.extra_info["avg_neighbors_2d"] = neighbors[2]
+    benchmark.extra_info["avg_neighbors_6d"] = neighbors[6]
+
+
+def test_bench_fig1b(benchmark):
+    n_points = bench_points(3000)
+    rows = benchmark.pedantic(lambda: run_fig1b(n_points=n_points), rounds=1, iterations=1)
+    # Time and neighbor count must grow with eps (the paper's panel b).
+    assert rows[-1].avg_neighbors >= rows[0].avg_neighbors
+    benchmark.extra_info["n_points"] = n_points

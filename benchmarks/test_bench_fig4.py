@@ -1,0 +1,32 @@
+"""Benchmark: Figure 4 — response time vs ε on the real-world surrogates.
+
+Regenerates all six panels (SW2DA/B, SDSS2DA/B, SW3DA/B) with the five
+algorithms of the paper.  The shape to reproduce: GPU-SJ (UNICOMP) fastest,
+SUPEREGO second, the sequential R-tree search-and-refine slowest among the
+indexed algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import DATASETS, REAL_WORLD_DATASETS
+from repro.experiments.fig4 import format_fig4, run_fig4
+from benchmarks.conftest import bench_points, bench_trials
+
+
+def test_bench_fig4(benchmark, write_report):
+    def run():
+        return run_fig4(n_points=bench_points(DATASETS["SW2DA"].default_scaled_points),
+                        trials=bench_trials())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig4", format_fig4(result))
+
+    # Shape check per dataset: GPU-SJ with UNICOMP beats the R-tree baseline
+    # over the eps sweep (summed, to be robust to single-point timer noise).
+    rtree = result.time_map("R-Tree")
+    gpu = result.time_map("GPU: unicomp")
+    for dataset in REAL_WORLD_DATASETS:
+        keys = [k for k in rtree if k[0] == dataset]
+        assert keys, dataset
+        assert sum(gpu[k] for k in keys) < sum(rtree[k] for k in keys), dataset
+    benchmark.extra_info["datasets"] = list(REAL_WORLD_DATASETS)

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 5 — response time vs ε, synthetic 2–6-D datasets (2M scale).
+
+Uniform data is the grid index's worst case, yet GPU-SJ must still beat the
+CPU baselines across the ε sweep; the UNICOMP variant's advantage grows with
+dimensionality (cross-checked in the Figure 9 benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import DATASETS, SYN_2M_DATASETS
+from repro.experiments.fig5 import format_fig5, run_fig5
+from benchmarks.conftest import bench_points, bench_trials
+
+
+def test_bench_fig5(benchmark, write_report):
+    def run():
+        return run_fig5(n_points=bench_points(DATASETS["Syn2D2M"].default_scaled_points),
+                        trials=bench_trials())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig5", format_fig5(result))
+
+    # Summed over the eps sweep to be robust to single-point timer noise.
+    rtree = result.time_map("R-Tree")
+    gpu = result.time_map("GPU: unicomp")
+    for dataset in SYN_2M_DATASETS:
+        keys = [k for k in rtree if k[0] == dataset]
+        assert keys, dataset
+        assert sum(gpu[k] for k in keys) < sum(rtree[k] for k in keys), dataset
+    benchmark.extra_info["datasets"] = list(SYN_2M_DATASETS)

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 6 — response time vs ε, synthetic 2–6-D datasets (10M scale).
+
+Same structure as the Figure 5 benchmark at the larger (scaled) dataset size,
+preserving the paper's 5× ratio between the two synthetic families.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import DATASETS, SYN_10M_DATASETS
+from repro.experiments.fig6 import format_fig6, run_fig6
+from benchmarks.conftest import bench_points, bench_trials
+
+
+def test_bench_fig6(benchmark, write_report):
+    def run():
+        return run_fig6(n_points=bench_points(DATASETS["Syn2D10M"].default_scaled_points),
+                        trials=bench_trials())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig6", format_fig6(result))
+
+    # Summed over the eps sweep to be robust to single-point timer noise.
+    rtree = result.time_map("R-Tree")
+    gpu = result.time_map("GPU: unicomp")
+    for dataset in SYN_10M_DATASETS:
+        keys = [k for k in rtree if k[0] == dataset]
+        assert keys, dataset
+        assert sum(gpu[k] for k in keys) < sum(rtree[k] for k in keys), dataset
+    benchmark.extra_info["datasets"] = list(SYN_10M_DATASETS)

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 7 — speedup of GPU-SJ (UNICOMP) over CPU-RTREE.
+
+The paper reports an average speedup of 26.9× across all (dataset, ε)
+measurements, growing with dimensionality (up to 125× on 4–6-D synthetic
+data).  The benchmark runs both algorithms over a representative subset of
+the Table I registry and asserts the qualitative shape: GPU-SJ wins
+everywhere and the average speedup is far above 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+from benchmarks.conftest import bench_points, bench_trials
+
+#: A representative cross-section (all three families, low and high dimension).
+FIG7_DATASETS = ("SW2DA", "SDSS2DA", "Syn2D2M", "Syn3D2M", "Syn5D2M", "Syn6D2M")
+
+
+def test_bench_fig7(benchmark, write_report):
+    n_points = bench_points(3000)
+
+    def run():
+        return run_fig7(n_points=n_points, datasets=FIG7_DATASETS,
+                        trials=bench_trials())
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig7", format_fig7(summary))
+
+    winners = sum(1 for s in summary.speedups.values() if s > 1.0)
+    assert winners >= 0.9 * len(summary.speedups)
+    assert summary.average > 5.0
+    benchmark.extra_info["average_speedup"] = summary.average
+    benchmark.extra_info["paper_average_speedup"] = 26.9
+    benchmark.extra_info["n_points"] = n_points

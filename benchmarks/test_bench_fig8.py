@@ -1,0 +1,33 @@
+"""Benchmark: Figure 8 — speedup of GPU-SJ (UNICOMP) over SUPEREGO.
+
+The paper reports a 2.38× average speedup over the 32-thread Super-EGO (about
+2× on the real-world datasets) with only six measurements where SUPEREGO
+wins.  The benchmark asserts the qualitative shape: GPU-SJ is faster on
+average and on the large majority of the measurements.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8 import format_fig8, real_world_average, run_fig8, slower_points
+from benchmarks.conftest import bench_points, bench_trials
+
+FIG8_DATASETS = ("SW2DA", "SDSS2DA", "SW3DA", "Syn2D2M", "Syn4D2M", "Syn6D2M")
+
+
+def test_bench_fig8(benchmark, write_report):
+    n_points = bench_points(4000)
+
+    def run():
+        return run_fig8(n_points=n_points, datasets=FIG8_DATASETS,
+                        trials=bench_trials())
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig8", format_fig8(summary))
+
+    assert summary.average > 1.0
+    # GPU-SJ must win the large majority of the measurements.
+    assert len(slower_points(summary)) <= len(summary.speedups) // 3
+    benchmark.extra_info["average_speedup"] = summary.average
+    benchmark.extra_info["real_world_average"] = real_world_average(summary)
+    benchmark.extra_info["paper_average_speedup"] = 2.38
+    benchmark.extra_info["n_points"] = n_points

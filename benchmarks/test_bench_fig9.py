@@ -1,0 +1,35 @@
+"""Benchmark: Figure 9 — the UNICOMP response-time ratio (without / with).
+
+The paper finds ratios around 1–1.5 on the 2–3-D real-world datasets and
+ratios that can exceed 2 on the ≥ 3-D synthetic datasets, with only slight
+slowdowns in the worst case.  The benchmark asserts that UNICOMP never causes
+a significant slowdown and that the mean ratio is above 1 (it helps).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+from benchmarks.conftest import bench_points, bench_trials
+
+FIG9_DATASETS = ("SW2DA", "SDSS2DA", "Syn2D2M", "Syn3D2M", "Syn5D2M", "Syn6D2M")
+
+
+def test_bench_fig9(benchmark, write_report):
+    n_points = bench_points(6000)
+
+    def run():
+        return run_fig9(n_points=n_points, datasets=FIG9_DATASETS,
+                        trials=bench_trials())
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig9", format_fig9(summary))
+
+    ratios = list(summary.ratios.values())
+    assert mean(ratios) > 1.0, "UNICOMP should help on average"
+    assert summary.min_ratio() > 0.3, "UNICOMP must never cause a large slowdown"
+    benchmark.extra_info["mean_ratio"] = mean(ratios)
+    benchmark.extra_info["max_ratio"] = summary.max_ratio()
+    benchmark.extra_info["min_ratio"] = summary.min_ratio()
+    benchmark.extra_info["n_points"] = n_points

@@ -1,0 +1,25 @@
+"""Benchmark: Table I — dataset registry generation.
+
+Times the generation of every (scaled) dataset of Table I and writes the
+reproduced table (paper sizes, scaled sizes, ε scale factors).
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import DATASETS, load_dataset
+from repro.experiments.table1 import format_table1, table1_rows
+from benchmarks.conftest import bench_points
+
+
+def test_bench_table1(benchmark, write_report):
+    def generate_all():
+        return {name: load_dataset(name, n_points=bench_points(spec.default_scaled_points))
+                for name, spec in DATASETS.items()}
+
+    datasets = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    write_report("table1", format_table1(table1_rows()))
+
+    assert len(datasets) == 16
+    for name, points in datasets.items():
+        assert points.shape[1] == DATASETS[name].n_dims
+    benchmark.extra_info["datasets"] = len(datasets)

@@ -1,0 +1,34 @@
+"""Benchmark: Table II — kernel metrics with and without UNICOMP.
+
+Runs the instrumented device-model kernels on the four Table II
+configurations and reports theoretical occupancy, the unified-cache
+utilization proxy and the response-time ratio of the production kernels.
+The shape to reproduce: UNICOMP always lowers occupancy (more registers per
+thread), and the 2-D occupancies are 100%/75% versus 62.5%/50% in 5–6-D.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import PAPER_OCCUPANCY, format_table2, run_table2
+from benchmarks.conftest import bench_points
+
+
+def test_bench_table2(benchmark, write_report):
+    n_points = min(1500, bench_points(1500))
+
+    rows = benchmark.pedantic(lambda: run_table2(n_points=n_points, timing_repeats=1),
+                              rounds=1, iterations=1)
+    write_report("table2", format_table2(rows))
+
+    for row in rows:
+        paper_global, paper_unicomp = PAPER_OCCUPANCY[row.dataset]
+        assert row.occupancy_global == pytest.approx(paper_global)
+        assert row.occupancy_unicomp == pytest.approx(paper_unicomp)
+        assert row.occupancy_ratio < 1.0
+        assert row.response_time_ratio > 0.8
+    benchmark.extra_info["n_points"] = n_points
+    benchmark.extra_info["occupancies"] = {r.dataset: (r.occupancy_global,
+                                                       r.occupancy_unicomp)
+                                           for r in rows}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Galaxy-pair search on an SDSS-like catalog (the paper's SDSS- workload).
+
+The paper evaluates on galaxies from SDSS DR12 in 2-D angular coordinates.
+This example generates the clustered SDSS surrogate, finds all galaxy pairs
+within a set of angular separations (the self-join), and compares GPU-SJ with
+the SUPEREGO baseline — the pair counts must agree exactly and GPU-SJ should
+be faster, mirroring Figure 4 (c, d).
+
+Run with:  python examples/astronomy_catalog.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import selfjoin
+from repro.baselines import superego_selfjoin
+from repro.data import sdss_dataset
+
+
+def main() -> None:
+    galaxies = sdss_dataset(n_points=30_000, seed=3)
+    print(f"catalog: {galaxies.shape[0]} galaxies, "
+          f"RA range [{galaxies[:, 0].min():.1f}, {galaxies[:, 0].max():.1f}] deg, "
+          f"Dec range [{galaxies[:, 1].min():.1f}, {galaxies[:, 1].max():.1f}] deg")
+
+    print(f"\n{'eps (deg)':>10} {'pairs':>12} {'GPU-SJ (s)':>12} {'SuperEGO (s)':>13} {'speedup':>8}")
+    for eps in (0.1, 0.2, 0.4):
+        start = time.perf_counter()
+        gpu_result = selfjoin(galaxies, eps, include_self=False)
+        gpu_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ego_result = superego_selfjoin(galaxies, eps, include_self=False)
+        ego_time = time.perf_counter() - start
+
+        assert gpu_result.num_pairs == ego_result.result.num_pairs, \
+            "GPU-SJ and SUPEREGO disagree on the pair count"
+        speedup = ego_time / gpu_time if gpu_time > 0 else float("inf")
+        print(f"{eps:>10.2f} {gpu_result.num_pairs:>12d} {gpu_time:>12.3f} "
+              f"{ego_time:>13.3f} {speedup:>7.2f}x")
+
+    # Pair statistics at the largest separation: the densest galaxy has the
+    # most companions, a typical input for correlation-function estimators.
+    table = gpu_result.to_neighbor_table()
+    counts = table.counts()
+    print(f"\nat eps=0.4 deg: mean companions per galaxy = {counts.mean():.2f}, "
+          f"max = {int(counts.max())}")
+
+
+if __name__ == "__main__":
+    main()

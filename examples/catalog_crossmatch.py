@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Cross-match two galaxy catalogs with the bipartite similarity join.
+
+The self-join is a special case of the general similarity join (paper
+Section II).  This example builds a reference catalog (SDSS surrogate) and an
+"observation" catalog — the same objects with small astrometric scatter plus
+some spurious detections — and matches them within a radius, reporting
+completeness and ambiguity, then uses the algorithm selector to justify the
+grid-based strategy for this workload.
+
+Run with:  python examples/catalog_crossmatch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.crossmatch import crossmatch
+from repro.core.selector import select_algorithm
+from repro.data import sdss_dataset
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    reference = sdss_dataset(n_points=40_000, seed=17)
+
+    # Observations: 90% of the reference objects with 0.005 deg scatter plus
+    # 2,000 spurious detections scattered over the footprint.
+    keep = rng.random(reference.shape[0]) < 0.9
+    observed = reference[keep] + rng.normal(0.0, 0.005, (int(keep.sum()), 2))
+    spurious = np.stack([rng.uniform(110, 260, 2000), rng.uniform(-5, 70, 2000)], axis=1)
+    observations = np.vstack([observed, spurious])
+    rng.shuffle(observations, axis=0)
+
+    radius = 0.05  # degrees
+    estimate = select_algorithm(observations, radius)
+    print(f"reference catalog : {reference.shape[0]} objects")
+    print(f"observations      : {observations.shape[0]} objects "
+          f"({spurious.shape[0]} spurious)")
+    print(f"selector          : {estimate.recommended} "
+          f"(grid selectivity {estimate.selectivity:.4f})")
+
+    result = crossmatch(observations, reference, radius=radius)
+    print(f"\nmatching radius   : {radius} deg")
+    print(f"matched objects   : {result.num_matched} "
+          f"({result.completeness():.1%} of observations)")
+    print(f"ambiguous matches : {result.num_ambiguous}")
+    matched = result.best_distance[np.isfinite(result.best_distance)]
+    print(f"median match dist : {np.median(matched):.4f} deg")
+    # The spurious detections are far from any reference object, so the
+    # completeness should be close to the fraction of real observations.
+    real_fraction = observed.shape[0] / observations.shape[0]
+    print(f"(expected completeness ≈ fraction of real observations = {real_fraction:.1%})")
+
+
+if __name__ == "__main__":
+    main()

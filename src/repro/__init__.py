@@ -1,0 +1,55 @@
+"""repro — reproduction of *GPU Accelerated Self-Join for the Distance Similarity Metric*.
+
+The package implements the paper's contribution (the GPU-SJ grid-index
+self-join with the UNICOMP work-avoidance optimization and result-set
+batching) together with every substrate it depends on:
+
+* :mod:`repro.gpusim` — a SIMT-style device model that substitutes for the
+  CUDA GPU used in the paper (global memory, warps, occupancy, cache model,
+  streams).
+* :mod:`repro.baselines` — the comparison algorithms: a from-scratch R-tree
+  search-and-refine self-join (CPU-RTREE), an Epsilon-Grid-Order join
+  (SUPEREGO), and brute-force joins.
+* :mod:`repro.data` — synthetic and surrogate "real-world" dataset generators
+  mirroring Table I of the paper.
+* :mod:`repro.experiments` — the benchmark harness regenerating every table
+  and figure of the evaluation section.
+* :mod:`repro.apps` — applications built on the self-join (DBSCAN, kNN).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import selfjoin
+>>> rng = np.random.default_rng(0)
+>>> points = rng.uniform(0.0, 10.0, size=(1000, 2))
+>>> result = selfjoin(points, eps=0.5)
+>>> result.num_pairs > 0
+True
+"""
+
+from __future__ import annotations
+
+from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig, selfjoin
+from repro.core.gridindex import GridIndex
+from repro.core.result import NeighborTable, ResultSet
+from repro.core.batching import BatchPlan, BatchPlanner
+from repro.core.join import range_query, similarity_join
+from repro.core.selector import adaptive_selfjoin, select_algorithm
+
+__all__ = [
+    "GPUSelfJoin",
+    "SelfJoinConfig",
+    "selfjoin",
+    "similarity_join",
+    "range_query",
+    "adaptive_selfjoin",
+    "select_algorithm",
+    "GridIndex",
+    "NeighborTable",
+    "ResultSet",
+    "BatchPlan",
+    "BatchPlanner",
+    "__version__",
+]
+
+__version__ = "1.0.0"

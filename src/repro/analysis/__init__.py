@@ -1,0 +1,25 @@
+"""Post-processing of experiment records: speedups, ratios, trial statistics."""
+
+from repro.analysis.speedup import (
+    average_speedup,
+    pairwise_speedups,
+    speedup,
+)
+from repro.analysis.stats import geometric_mean, mean_and_std, summarize_series
+from repro.analysis.distribution import (
+    DistributionProfile,
+    compare_distributions,
+    profile_distribution,
+)
+
+__all__ = [
+    "speedup",
+    "pairwise_speedups",
+    "average_speedup",
+    "geometric_mean",
+    "mean_and_std",
+    "summarize_series",
+    "DistributionProfile",
+    "profile_distribution",
+    "compare_distributions",
+]

@@ -1,0 +1,84 @@
+"""Data-distribution diagnostics for the grid index (paper future work).
+
+The paper notes that its grid index performs best on data with over-dense
+regions (fewer non-empty cells) and lists "examining skewed data in greater
+detail" as future work.  These diagnostics quantify how skewed a dataset is
+*with respect to a given ε-grid* so users can predict whether the grid index
+or a data-dependent index is the better fit:
+
+* the fraction of the full grid that is non-empty,
+* the coefficient of variation and Gini coefficient of the per-cell
+  populations (0 for perfectly uniform occupancy, → 1 for extreme skew), and
+* the candidate-pair selectivity from :mod:`repro.core.selector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gridindex import GridIndex
+from repro.core.selector import estimate_join_work
+
+
+@dataclass
+class DistributionProfile:
+    """Grid-occupancy statistics of one dataset at one ε."""
+
+    num_points: int
+    num_nonempty_cells: int
+    total_cells: int
+    mean_points_per_cell: float
+    max_points_per_cell: int
+    occupancy_fraction: float
+    coefficient_of_variation: float
+    gini_coefficient: float
+    candidate_selectivity: float
+
+    @property
+    def is_skewed(self) -> bool:
+        """Heuristic: cell populations vary strongly (CV > 1 or Gini > 0.5)."""
+        return self.coefficient_of_variation > 1.0 or self.gini_coefficient > 0.5
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, → 1 = concentrated)."""
+    vals = np.sort(np.asarray(values, dtype=np.float64))
+    if vals.size == 0:
+        return 0.0
+    if np.any(vals < 0):
+        raise ValueError("gini_coefficient requires non-negative values")
+    total = vals.sum()
+    if total == 0:
+        return 0.0
+    n = vals.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * vals) / (n * total)) - (n + 1.0) / n)
+
+
+def profile_distribution(index: GridIndex) -> DistributionProfile:
+    """Compute the grid-occupancy profile of a built index."""
+    counts = index.cell_counts.astype(np.float64)
+    mean = float(counts.mean()) if counts.size else 0.0
+    std = float(counts.std()) if counts.size else 0.0
+    cv = std / mean if mean > 0 else 0.0
+    estimate = estimate_join_work(index, unicomp=True)
+    return DistributionProfile(
+        num_points=index.num_points,
+        num_nonempty_cells=index.num_nonempty_cells,
+        total_cells=index.total_cells,
+        mean_points_per_cell=mean,
+        max_points_per_cell=int(counts.max()) if counts.size else 0,
+        occupancy_fraction=index.num_nonempty_cells / max(1, index.total_cells),
+        coefficient_of_variation=cv,
+        gini_coefficient=gini_coefficient(counts),
+        candidate_selectivity=estimate.selectivity,
+    )
+
+
+def compare_distributions(datasets: dict[str, np.ndarray], eps: float
+                          ) -> dict[str, DistributionProfile]:
+    """Profile several same-ε datasets (used by the distribution ablation)."""
+    return {name: profile_distribution(GridIndex.build(points, eps))
+            for name, points in datasets.items()}

@@ -1,0 +1,56 @@
+"""Speedup and ratio computations used by Figures 7, 8 and 9.
+
+Figure 7 reports the speedup of GPU-SJ + UNICOMP over CPU-RTREE for every
+(dataset, ε) combination of Figures 4–6 (average 26.9× in the paper),
+Figure 8 the same against SUPEREGO (average 2.38×) and Figure 9 the ratio of
+the GPU response times without and with UNICOMP.  These helpers turn lists
+of timing records into those derived series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def speedup(baseline_time: float, candidate_time: float) -> float:
+    """Baseline over candidate time; > 1 means the candidate is faster."""
+    if candidate_time <= 0:
+        raise ValueError("candidate_time must be positive")
+    if baseline_time < 0:
+        raise ValueError("baseline_time must be non-negative")
+    return baseline_time / candidate_time
+
+
+def pairwise_speedups(baseline: Mapping[Tuple[str, float], float],
+                      candidate: Mapping[Tuple[str, float], float],
+                      ) -> Dict[Tuple[str, float], float]:
+    """Speedups for every (dataset, ε) key present in both time maps.
+
+    Parameters
+    ----------
+    baseline, candidate:
+        Maps from ``(dataset_name, eps)`` to response time in seconds.
+    """
+    common = set(baseline) & set(candidate)
+    return {key: speedup(baseline[key], candidate[key]) for key in sorted(common)}
+
+
+def average_speedup(speedups: Iterable[float]) -> float:
+    """Arithmetic mean speedup (the paper reports arithmetic averages)."""
+    values: List[float] = [float(v) for v in speedups]
+    if not values:
+        raise ValueError("average_speedup needs at least one value")
+    return sum(values) / len(values)
+
+
+def ratio_series(numerator_times: Sequence[float],
+                 denominator_times: Sequence[float]) -> List[float]:
+    """Element-wise ratio of two aligned time series (Figure 9's UNICOMP ratio)."""
+    if len(numerator_times) != len(denominator_times):
+        raise ValueError("series must be aligned")
+    out: List[float] = []
+    for num, den in zip(numerator_times, denominator_times):
+        if den <= 0:
+            raise ValueError("denominator times must be positive")
+        out.append(float(num) / float(den))
+    return out

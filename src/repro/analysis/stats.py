@@ -1,0 +1,31 @@
+"""Trial statistics helpers (the paper averages each measurement over 3 trials)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Arithmetic mean and population standard deviation."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("mean_and_std needs at least one value")
+    mean = sum(vals) / len(vals)
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return mean, math.sqrt(var)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (robust summary for speedups)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean needs at least one value")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def summarize_series(series: Dict[str, List[float]]) -> Dict[str, Tuple[float, float]]:
+    """Per-key (mean, std) summary of a dict of numeric lists."""
+    return {key: mean_and_std(vals) for key, vals in series.items() if vals}

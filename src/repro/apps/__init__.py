@@ -1,0 +1,13 @@
+"""Applications built on the self-join, motivating its use as a building block.
+
+The paper's introduction motivates the self-join through algorithms that need
+the ε-neighborhood of every point — DBSCAN in particular — and lists kNN
+search as future work.  Both are provided here on top of the public
+:func:`repro.selfjoin` API and the grid index.
+"""
+
+from repro.apps.dbscan import DBSCANResult, dbscan
+from repro.apps.knn import knn_search
+from repro.apps.crossmatch import CrossMatchResult, crossmatch
+
+__all__ = ["dbscan", "DBSCANResult", "knn_search", "crossmatch", "CrossMatchResult"]

@@ -1,0 +1,110 @@
+"""DBSCAN clustering driven by a single self-join.
+
+DBSCAN (Ester et al. 1996) needs, for every point, its ε-neighborhood.  The
+approach the paper builds on (Böhm et al. 2000; Gowanlock et al. 2017)
+computes all neighborhoods up front with one similarity self-join and then
+clusters from the materialized neighbor table — exactly what this module
+does: the neighbor table comes from :func:`repro.selfjoin` and the clustering
+step is a standard core-point expansion over that table.
+
+Labels follow the scikit-learn convention: ``-1`` marks noise, clusters are
+numbered from 0.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import NeighborTable
+from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig
+from repro.utils.validation import check_eps, check_points
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+@dataclass
+class DBSCANResult:
+    """Clustering outcome."""
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    n_clusters: int
+    neighbor_table: NeighborTable
+
+    @property
+    def noise_mask(self) -> np.ndarray:
+        """Boolean mask of noise points."""
+        return self.labels == NOISE
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Size of each cluster, indexed by cluster label."""
+        if self.n_clusters == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.bincount(self.labels[self.labels >= 0], minlength=self.n_clusters)
+
+
+def dbscan(points: np.ndarray, eps: float, min_pts: int,
+           config: Optional[SelfJoinConfig] = None) -> DBSCANResult:
+    """Cluster ``points`` with DBSCAN using a self-join for the neighborhoods.
+
+    Parameters
+    ----------
+    points:
+        ``(n_points, n_dims)`` coordinates.
+    eps:
+        Neighborhood radius.
+    min_pts:
+        Minimum neighborhood size (including the point itself) for a point to
+        be a core point — the usual DBSCAN convention.
+    config:
+        Optional :class:`~repro.core.selfjoin.SelfJoinConfig` controlling the
+        underlying self-join (UNICOMP, batching, kernel choice).
+
+    Returns
+    -------
+    DBSCANResult
+    """
+    pts = check_points(points)
+    eps = check_eps(eps)
+    if min_pts < 1:
+        raise ValueError("min_pts must be >= 1")
+
+    join_config = config or SelfJoinConfig()
+    joiner = GPUSelfJoin(join_config)
+    result = joiner.join(pts, eps)
+    if not join_config.include_self:
+        # Neighborhood sizes in DBSCAN count the point itself; re-add it.
+        raise ValueError("DBSCAN requires include_self=True in the self-join config")
+    table = result.to_neighbor_table()
+
+    n = pts.shape[0]
+    degrees = table.counts()
+    core_mask = degrees >= min_pts
+    labels = np.full(n, NOISE, dtype=np.int64)
+
+    cluster_id = 0
+    for seed in range(n):
+        if labels[seed] != NOISE or not core_mask[seed]:
+            continue
+        # Grow a new cluster from this unassigned core point (BFS expansion).
+        labels[seed] = cluster_id
+        queue = deque([seed])
+        while queue:
+            current = queue.popleft()
+            if not core_mask[current]:
+                continue
+            for neighbor in table.neighbors_of(current):
+                neighbor = int(neighbor)
+                if labels[neighbor] == NOISE:
+                    labels[neighbor] = cluster_id
+                    if core_mask[neighbor]:
+                        queue.append(neighbor)
+        cluster_id += 1
+
+    return DBSCANResult(labels=labels, core_mask=core_mask,
+                        n_clusters=cluster_id, neighbor_table=table)

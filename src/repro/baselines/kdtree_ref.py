@@ -1,0 +1,48 @@
+"""scipy cKDTree reference used to validate every self-join implementation.
+
+This is *not* one of the paper's baselines; it exists purely so the test
+suite has an independent ground truth (``scipy.spatial.cKDTree.query_pairs``)
+against which GPU-SJ, CPU-RTREE, SUPEREGO and the brute-force joins are all
+cross-checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.result import ResultSet
+from repro.utils.validation import check_eps, ensure_2d_float64
+
+
+def kdtree_selfjoin(points: np.ndarray, eps: float,
+                    include_self: bool = True) -> ResultSet:
+    """Ground-truth self-join: all ordered pairs within ε via a KD-tree.
+
+    ``query_pairs`` returns each unordered pair once; both ordered pairs are
+    emitted, plus the (p, p) self-pairs when ``include_self`` is true, so the
+    output is directly comparable with :func:`repro.selfjoin`.
+    """
+    pts = ensure_2d_float64(points)
+    eps = check_eps(eps)
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(eps, output_type="ndarray")
+    n = pts.shape[0]
+    parts_keys = [pairs[:, 0], pairs[:, 1]]
+    parts_vals = [pairs[:, 1], pairs[:, 0]]
+    if include_self:
+        ids = np.arange(n, dtype=np.int64)
+        parts_keys.append(ids)
+        parts_vals.append(ids)
+    keys = np.concatenate(parts_keys).astype(np.int64) if parts_keys else np.empty(0, np.int64)
+    values = np.concatenate(parts_vals).astype(np.int64) if parts_vals else np.empty(0, np.int64)
+    return ResultSet(keys=keys, values=values, num_points=n)
+
+
+def kdtree_neighbor_count(points: np.ndarray, eps: float) -> float:
+    """Average number of ε-neighbors per point, excluding the point itself."""
+    pts = ensure_2d_float64(points)
+    eps = check_eps(eps)
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(eps)
+    return 2.0 * len(pairs) / pts.shape[0]

@@ -1,0 +1,492 @@
+"""A from-scratch R-tree (Guttman 1984) used by the CPU-RTREE baseline.
+
+The paper's reference implementation is a sequential search-and-refine
+self-join over an R-tree index.  This module implements the index itself:
+
+* dynamic insertion with Guttman's *quadratic split* (the classic algorithm),
+* an STR (Sort-Tile-Recursive) bulk loader, useful for tests and ablations,
+* rectangle range queries returning candidate point ids (the *search* phase;
+  the distance *refine* phase lives in :mod:`repro.baselines.rtree_selfjoin`).
+
+Leaf nodes store their entries as NumPy arrays so the refine step can be
+vectorized, but the tree traversal itself is deliberately plain Python — it
+is the per-query, branchy index search whose cost the paper contrasts with
+the GPU grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d_float64
+
+
+@dataclass
+class Rect:
+    """An axis-aligned minimum bounding rectangle (MBR)."""
+
+    low: np.ndarray
+    high: np.ndarray
+
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "Rect":
+        """Degenerate rectangle covering a single point."""
+        p = np.asarray(point, dtype=np.float64)
+        return cls(low=p.copy(), high=p.copy())
+
+    @classmethod
+    def empty(cls, n_dims: int) -> "Rect":
+        """An empty rectangle that unions as the identity element."""
+        return cls(low=np.full(n_dims, np.inf), high=np.full(n_dims, -np.inf))
+
+    def copy(self) -> "Rect":
+        """Deep copy."""
+        return Rect(low=self.low.copy(), high=self.high.copy())
+
+    # -------------------------------------------------------------- geometry
+    def area(self) -> float:
+        """Hyper-volume of the rectangle (0 for degenerate/empty rectangles)."""
+        extent = self.high - self.low
+        if np.any(extent < 0):
+            return 0.0
+        return float(np.prod(extent))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (used by some split heuristics and tests)."""
+        extent = np.maximum(self.high - self.low, 0.0)
+        return float(extent.sum())
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both."""
+        return Rect(low=np.minimum(self.low, other.low),
+                    high=np.maximum(self.high, other.high))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to include ``other`` (Guttman's ChooseLeaf metric)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, low: np.ndarray, high: np.ndarray) -> bool:
+        """Does this rectangle intersect the query rectangle [low, high]?"""
+        return bool(np.all(self.low <= high) and np.all(self.high >= low))
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Is ``point`` inside (or on the boundary of) this rectangle?"""
+        return bool(np.all(self.low <= point) and np.all(point <= self.high))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Is ``other`` fully contained in this rectangle?"""
+        return bool(np.all(self.low <= other.low) and np.all(other.high <= self.high))
+
+
+@dataclass
+class _Node:
+    """R-tree node; leaves hold point entries, internal nodes hold children."""
+
+    is_leaf: bool
+    rect: Rect
+    children: List["_Node"] = field(default_factory=list)
+    point_ids: List[int] = field(default_factory=list)
+    points: List[np.ndarray] = field(default_factory=list)
+
+    def entry_count(self) -> int:
+        """Number of entries (children for internal nodes, points for leaves)."""
+        return len(self.point_ids) if self.is_leaf else len(self.children)
+
+    def recompute_rect(self) -> None:
+        """Recompute this node's MBR from its entries."""
+        if self.is_leaf:
+            if not self.points:
+                return
+            arr = np.asarray(self.points)
+            self.rect = Rect(low=arr.min(axis=0), high=arr.max(axis=0))
+        else:
+            rect = Rect.empty(self.rect.low.shape[0])
+            for child in self.children:
+                rect = rect.union(child.rect)
+            self.rect = rect
+
+
+class RTree:
+    """R-tree over points with dynamic insertion and STR bulk loading.
+
+    Parameters
+    ----------
+    n_dims:
+        Dimensionality of the indexed points.
+    max_entries:
+        Maximum entries per node (Guttman's *M*).
+    min_entries:
+        Minimum entries per node after a split (Guttman's *m*); defaults to
+        ``max_entries // 2``.
+    """
+
+    def __init__(self, n_dims: int, max_entries: int = 16,
+                 min_entries: Optional[int] = None) -> None:
+        if n_dims < 1:
+            raise ValueError("n_dims must be >= 1")
+        if max_entries < 2:
+            raise ValueError("max_entries must be >= 2")
+        self.n_dims = int(n_dims)
+        self.max_entries = int(max_entries)
+        self.min_entries = int(min_entries) if min_entries is not None else max(1, max_entries // 2)
+        if self.min_entries > self.max_entries // 2:
+            self.min_entries = self.max_entries // 2
+        self.min_entries = max(1, self.min_entries)
+        self.root: _Node = _Node(is_leaf=True, rect=Rect.empty(self.n_dims))
+        self.size = 0
+
+    # --------------------------------------------------------------- loading
+    @classmethod
+    def bulk_load(cls, points: np.ndarray, max_entries: int = 16) -> "RTree":
+        """Build an R-tree with Sort-Tile-Recursive packing.
+
+        STR packs points into full leaves using per-dimension tiling, then
+        packs the leaves recursively.  The resulting tree is better balanced
+        than one built by repeated insertion and is the recommended way to
+        build the CPU-RTREE baseline index when construction time is not the
+        quantity under study.
+        """
+        pts = ensure_2d_float64(points)
+        tree = cls(n_dims=pts.shape[1], max_entries=max_entries)
+        ids = np.arange(pts.shape[0], dtype=np.int64)
+        leaves = _str_pack_leaves(pts, ids, max_entries)
+        tree.size = pts.shape[0]
+        level = leaves
+        while len(level) > 1:
+            level = _str_pack_internal(level, max_entries)
+        tree.root = level[0]
+        return tree
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, max_entries: int = 16,
+                    presort_bin_width: Optional[float] = 1.0) -> "RTree":
+        """Build by repeated insertion, optionally pre-sorting into unit bins.
+
+        The paper sorts the data into bins of unit length in each dimension
+        before insertion so co-located points are inserted together and
+        internal nodes do not cover excessive empty space.
+        """
+        pts = ensure_2d_float64(points)
+        order = np.arange(pts.shape[0])
+        if presort_bin_width is not None:
+            order = sort_for_insertion(pts, presort_bin_width)
+        tree = cls(n_dims=pts.shape[1], max_entries=max_entries)
+        for i in order:
+            tree.insert(int(i), pts[i])
+        return tree
+
+    # ------------------------------------------------------------- insertion
+    def insert(self, point_id: int, point: np.ndarray) -> None:
+        """Insert one point with Guttman's ChooseLeaf / quadratic split."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.n_dims,):
+            raise ValueError(f"point must have shape ({self.n_dims},)")
+        leaf, path = self._choose_leaf(point)
+        leaf.point_ids.append(int(point_id))
+        leaf.points.append(point.copy())
+        leaf.rect = leaf.rect.union(Rect.from_point(point)) if leaf.entry_count() > 1 \
+            else Rect.from_point(point)
+        self.size += 1
+        self._adjust_tree(leaf, path)
+
+    def _choose_leaf(self, point: np.ndarray) -> tuple[_Node, List[_Node]]:
+        """Descend to the leaf whose MBR needs the least enlargement."""
+        node = self.root
+        path: List[_Node] = []
+        point_rect = Rect.from_point(point)
+        while not node.is_leaf:
+            path.append(node)
+            best = None
+            best_key = (math.inf, math.inf)
+            for child in node.children:
+                enlargement = child.rect.enlargement(point_rect)
+                key = (enlargement, child.rect.area())
+                if key < best_key:
+                    best_key = key
+                    best = child
+            node = best  # type: ignore[assignment]
+        return node, path
+
+    def _adjust_tree(self, node: _Node, path: List[_Node]) -> None:
+        """Propagate MBR updates and splits from ``node`` up to the root."""
+        current = node
+        while True:
+            split_sibling = None
+            if current.entry_count() > self.max_entries:
+                split_sibling = self._split(current)
+            if not path:
+                if split_sibling is not None:
+                    new_root = _Node(is_leaf=False, rect=Rect.empty(self.n_dims),
+                                     children=[current, split_sibling])
+                    new_root.recompute_rect()
+                    self.root = new_root
+                else:
+                    current.recompute_rect()
+                return
+            parent = path.pop()
+            if split_sibling is not None:
+                parent.children.append(split_sibling)
+            parent.recompute_rect()
+            current = parent
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split of an overfull node; returns the new sibling."""
+        rects = self._entry_rects(node)
+        seed_a, seed_b = _pick_seeds_quadratic(rects)
+        group_a = [seed_a]
+        group_b = [seed_b]
+        remaining = [i for i in range(len(rects)) if i not in (seed_a, seed_b)]
+        rect_a = rects[seed_a].copy()
+        rect_b = rects[seed_b].copy()
+        while remaining:
+            # Force-assign when one group must absorb the rest to reach min_entries.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            idx, prefer_a = _pick_next_quadratic(remaining, rects, rect_a, rect_b)
+            remaining.remove(idx)
+            if prefer_a:
+                group_a.append(idx)
+                rect_a = rect_a.union(rects[idx])
+            else:
+                group_b.append(idx)
+                rect_b = rect_b.union(rects[idx])
+        sibling = _Node(is_leaf=node.is_leaf, rect=Rect.empty(self.n_dims))
+        self._distribute_entries(node, sibling, group_a, group_b)
+        node.recompute_rect()
+        sibling.recompute_rect()
+        return sibling
+
+    def _entry_rects(self, node: _Node) -> List[Rect]:
+        """MBRs of a node's entries."""
+        if node.is_leaf:
+            return [Rect.from_point(p) for p in node.points]
+        return [child.rect for child in node.children]
+
+    @staticmethod
+    def _distribute_entries(node: _Node, sibling: _Node,
+                            group_a: Sequence[int], group_b: Sequence[int]) -> None:
+        """Move the entries of ``node`` into ``node`` (group A) and ``sibling`` (group B)."""
+        if node.is_leaf:
+            ids = node.point_ids
+            pts = node.points
+            node.point_ids = [ids[i] for i in group_a]
+            node.points = [pts[i] for i in group_a]
+            sibling.point_ids = [ids[i] for i in group_b]
+            sibling.points = [pts[i] for i in group_b]
+        else:
+            children = node.children
+            node.children = [children[i] for i in group_a]
+            sibling.children = [children[i] for i in group_b]
+
+    # ---------------------------------------------------------------- queries
+    def range_query(self, low: np.ndarray, high: np.ndarray) -> tuple[np.ndarray, int]:
+        """Candidate point ids inside the query rectangle ``[low, high]``.
+
+        Returns ``(candidate_ids, nodes_visited)``; the node count is the
+        index-search cost the paper's Figure 1 discussion is about.
+        """
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        out: List[int] = []
+        visited = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            if node.is_leaf:
+                if not node.point_ids:
+                    continue
+                pts = np.asarray(node.points)
+                ids = np.asarray(node.point_ids, dtype=np.int64)
+                inside = np.all((pts >= low) & (pts <= high), axis=1)
+                out.extend(ids[inside].tolist())
+            else:
+                for child in node.children:
+                    if child.rect.intersects(low, high):
+                        stack.append(child)
+        return np.asarray(out, dtype=np.int64), visited
+
+    def range_query_sphere(self, center: np.ndarray, radius: float,
+                           points: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Search-and-refine ε-sphere query.
+
+        Searches the enclosing rectangle, then refines candidates with the
+        Euclidean distance.  Returns ``(ids_within, candidates, nodes_visited)``.
+        """
+        center = np.asarray(center, dtype=np.float64)
+        candidates, visited = self.range_query(center - radius, center + radius)
+        if candidates.shape[0] == 0:
+            return candidates, 0, visited
+        diff = points[candidates] - center
+        dist2 = np.einsum("ij,ij->i", diff, diff)
+        within = candidates[dist2 <= radius * radius]
+        return within, int(candidates.shape[0]), visited
+
+    # ------------------------------------------------------------ inspection
+    def height(self) -> int:
+        """Tree height (a single leaf root has height 1)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        """Total number of nodes."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def all_point_ids(self) -> np.ndarray:
+        """All point ids stored in the tree (order unspecified)."""
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(node.point_ids)
+            else:
+                stack.extend(node.children)
+        return np.asarray(sorted(out), dtype=np.int64)
+
+    def validate(self) -> None:
+        """Check structural invariants (containment, fanout, leaf depth)."""
+        depths = []
+
+        def _walk(node: _Node, depth: int, is_root: bool) -> None:
+            if node.is_leaf:
+                depths.append(depth)
+                for p in node.points:
+                    assert node.rect.contains_point(np.asarray(p)), \
+                        "leaf MBR must contain its points"
+                if not is_root:
+                    assert len(node.point_ids) <= self.max_entries
+            else:
+                assert node.children, "internal nodes must have children"
+                if not is_root:
+                    assert len(node.children) <= self.max_entries
+                for child in node.children:
+                    assert node.rect.contains_rect(child.rect), \
+                        "parent MBR must contain child MBRs"
+                    _walk(child, depth + 1, False)
+
+        _walk(self.root, 0, True)
+        assert len(set(depths)) <= 1, "all leaves must be at the same depth"
+        assert self.all_point_ids().shape[0] == self.size or self.size == 0
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+def sort_for_insertion(points: np.ndarray, bin_width: float = 1.0) -> np.ndarray:
+    """Order point ids by unit-length bins in each dimension (paper Section VI-B).
+
+    Returns a permutation of point ids such that points in the same bin are
+    adjacent, which keeps dynamically inserted R-tree nodes compact.
+    """
+    pts = ensure_2d_float64(points)
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    bins = np.floor((pts - pts.min(axis=0)) / bin_width).astype(np.int64)
+    keys = tuple(bins[:, j] for j in range(bins.shape[1] - 1, -1, -1))
+    return np.lexsort(keys)
+
+
+def _str_pack_leaves(points: np.ndarray, ids: np.ndarray, max_entries: int) -> List[_Node]:
+    """Pack points into leaves with Sort-Tile-Recursive tiling."""
+    n, dims = points.shape
+    order = _str_order(points, max_entries)
+    leaves: List[_Node] = []
+    for start in range(0, n, max_entries):
+        chunk = order[start:start + max_entries]
+        node = _Node(is_leaf=True, rect=Rect.empty(dims),
+                     point_ids=[int(i) for i in ids[chunk]],
+                     points=[points[i].copy() for i in chunk])
+        node.recompute_rect()
+        leaves.append(node)
+    return leaves
+
+
+def _str_order(points: np.ndarray, max_entries: int) -> np.ndarray:
+    """Recursive STR ordering of point indices."""
+    n, dims = points.shape
+
+    def recurse(idx: np.ndarray, dim: int) -> np.ndarray:
+        if dim >= dims - 1 or idx.shape[0] <= max_entries:
+            return idx[np.argsort(points[idx, dim], kind="stable")]
+        idx = idx[np.argsort(points[idx, dim], kind="stable")]
+        remaining_dims = dims - dim
+        leaf_count = math.ceil(idx.shape[0] / max_entries)
+        slabs = max(1, math.ceil(leaf_count ** (1.0 / remaining_dims)))
+        slab_size = math.ceil(idx.shape[0] / slabs)
+        parts = [recurse(idx[s:s + slab_size], dim + 1)
+                 for s in range(0, idx.shape[0], slab_size)]
+        return np.concatenate(parts)
+
+    return recurse(np.arange(n), 0)
+
+
+def _str_pack_internal(nodes: List[_Node], max_entries: int) -> List[_Node]:
+    """Pack one level of nodes into parents (STR on the MBR centers)."""
+    centers = np.asarray([(node.rect.low + node.rect.high) / 2.0 for node in nodes])
+    order = _str_order(centers, max_entries)
+    parents: List[_Node] = []
+    dims = centers.shape[1]
+    for start in range(0, len(nodes), max_entries):
+        chunk = order[start:start + max_entries]
+        parent = _Node(is_leaf=False, rect=Rect.empty(dims),
+                       children=[nodes[i] for i in chunk])
+        parent.recompute_rect()
+        parents.append(parent)
+    return parents
+
+
+def _pick_seeds_quadratic(rects: List[Rect]) -> tuple[int, int]:
+    """Guttman's PickSeeds: the pair wasting the most area if grouped together."""
+    best = (0, 1)
+    best_waste = -math.inf
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            waste = rects[i].union(rects[j]).area() - rects[i].area() - rects[j].area()
+            if waste > best_waste:
+                best_waste = waste
+                best = (i, j)
+    return best
+
+
+def _pick_next_quadratic(remaining: List[int], rects: List[Rect],
+                         rect_a: Rect, rect_b: Rect) -> tuple[int, bool]:
+    """Guttman's PickNext: entry with the greatest preference for one group."""
+    best_idx = remaining[0]
+    best_diff = -math.inf
+    best_prefer_a = True
+    for idx in remaining:
+        d_a = rect_a.enlargement(rects[idx])
+        d_b = rect_b.enlargement(rects[idx])
+        diff = abs(d_a - d_b)
+        if diff > best_diff:
+            best_diff = diff
+            best_idx = idx
+            if d_a < d_b:
+                best_prefer_a = True
+            elif d_b < d_a:
+                best_prefer_a = False
+            else:
+                best_prefer_a = rect_a.area() <= rect_b.area()
+    return best_idx, best_prefer_a

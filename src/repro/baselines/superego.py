@@ -1,0 +1,192 @@
+"""SUPEREGO: the multi-threaded Super-EGO baseline (Kalashnikov 2013).
+
+Super-EGO augments the Epsilon-Grid-Order join with:
+
+* **normalization** of the data into the unit cube (the paper normalized its
+  datasets to match Super-EGO's convention; here a single uniform scale is
+  applied to all dimensions so Euclidean distances are preserved and ε is
+  rescaled accordingly),
+* **dimension reordering** driven by the data distribution, so dimensions
+  with the greatest pruning power are compared first during the ego-order
+  recursion, and
+* **multi-threading**: the top of the join recursion is expanded into
+  independent tasks executed on a thread pool (the paper runs 32 threads on
+  its 32-core platform).
+
+The timing convention follows the paper: the reported time covers the
+ego-sort plus the join.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.ego import (
+    DEFAULT_SIMPLE_JOIN_THRESHOLD,
+    EGOJoinOutput,
+    EGOStats,
+    _collect,
+    _expand_tasks,
+    make_context,
+    run_task,
+)
+from repro.core.result import ResultSet
+from repro.utils.validation import check_eps, ensure_2d_float64
+
+
+@dataclass
+class SuperEGOReport:
+    """Preprocessing decisions and work counters of a SUPEREGO run."""
+
+    dimension_order: Tuple[int, ...]
+    scale: float
+    normalized_eps: float
+    n_threads: int
+    n_tasks: int
+    stats: EGOStats
+
+
+def reorder_dimensions(points: np.ndarray, eps: float) -> np.ndarray:
+    """Choose the dimension permutation with the greatest pruning power.
+
+    Super-EGO reorders dimensions using the data distribution so that the
+    leading dimensions of the ego order discriminate best.  The heuristic
+    used here ranks dimensions by the number of distinct non-empty ε-cells
+    they produce (more distinct cells ⇒ earlier pruning), breaking ties by
+    variance.  On uniformly distributed synthetic data every order is
+    equivalent — which is exactly why the paper notes Super-EGO cannot
+    benefit from reordering there.
+    """
+    pts = ensure_2d_float64(points)
+    eps = check_eps(eps)
+    n_dims = pts.shape[1]
+    cell_counts = np.empty(n_dims)
+    variances = np.empty(n_dims)
+    for j in range(n_dims):
+        cells = np.floor((pts[:, j] - pts[:, j].min()) / eps).astype(np.int64)
+        cell_counts[j] = np.unique(cells).shape[0]
+        variances[j] = pts[:, j].var()
+    order = np.lexsort((-variances, -cell_counts))
+    return order.astype(np.int64)
+
+
+def normalize_unit_cube(points: np.ndarray) -> tuple[np.ndarray, float, np.ndarray]:
+    """Shift/scale points into the unit cube with a *single* uniform scale.
+
+    Returns ``(normalized_points, scale, offset)`` with
+    ``normalized = (points - offset) / scale``.  A uniform scale (the largest
+    per-dimension extent) is used so Euclidean distances are preserved up to
+    the scale factor and the join with ``eps / scale`` is exact.
+    """
+    pts = ensure_2d_float64(points)
+    offset = pts.min(axis=0)
+    extents = pts.max(axis=0) - offset
+    scale = float(extents.max())
+    if scale <= 0.0:
+        scale = 1.0
+    return (pts - offset) / scale, scale, offset
+
+
+class SuperEGO:
+    """Configured Super-EGO self-join.
+
+    Parameters
+    ----------
+    n_threads:
+        Worker threads for the join tasks (defaults to the CPU count, capped
+        at 32 to match the paper's platform).
+    threshold:
+        Simple-join threshold of the underlying EGO recursion.
+    reorder:
+        Enable data-driven dimension reordering.
+    normalize:
+        Enable unit-cube normalization.
+    """
+
+    def __init__(self, n_threads: Optional[int] = None,
+                 threshold: int = DEFAULT_SIMPLE_JOIN_THRESHOLD,
+                 reorder: bool = True, normalize: bool = True) -> None:
+        if n_threads is None:
+            n_threads = min(32, os.cpu_count() or 1)
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = int(n_threads)
+        self.threshold = int(threshold)
+        self.reorder = bool(reorder)
+        self.normalize = bool(normalize)
+
+    def join(self, points: np.ndarray, eps: float) -> EGOJoinOutput:
+        """Run the self-join; see :meth:`join_with_report`."""
+        output, _ = self.join_with_report(points, eps)
+        return output
+
+    def join_with_report(self, points: np.ndarray, eps: float
+                         ) -> tuple[EGOJoinOutput, SuperEGOReport]:
+        """Run the self-join and return the preprocessing/threading report."""
+        pts = ensure_2d_float64(points)
+        eps = check_eps(eps)
+        n = pts.shape[0]
+
+        if self.reorder:
+            dim_order = reorder_dimensions(pts, eps)
+            work_pts = pts[:, dim_order]
+        else:
+            dim_order = np.arange(pts.shape[1], dtype=np.int64)
+            work_pts = pts
+
+        if self.normalize:
+            work_pts, scale, _ = normalize_unit_cube(work_pts)
+            work_eps = eps / scale
+        else:
+            scale = 1.0
+            work_eps = eps
+
+        ctx = make_context(work_pts, work_eps, threshold=self.threshold)
+        tasks: List[Tuple[int, int, int, int, bool]] = []
+        _expand_tasks(ctx, 0, n, 0, n, True, tasks)
+
+        stats = EGOStats()
+        if self.n_threads == 1 or len(tasks) <= 1:
+            locals_ = [run_task(ctx, task) for task in tasks]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+                locals_ = list(pool.map(lambda t: run_task(ctx, t), tasks))
+        key_parts = []
+        val_parts = []
+        for local in locals_:
+            stats.merge(local.stats)
+            key_parts.extend(local.key_parts)
+            val_parts.extend(local.val_parts)
+        ctx.key_parts = key_parts
+        ctx.val_parts = val_parts
+        result = _collect(ctx, n)
+        stats.result_pairs = result.num_pairs
+        output = EGOJoinOutput(result=result, stats=stats)
+        report = SuperEGOReport(
+            dimension_order=tuple(int(d) for d in dim_order),
+            scale=scale,
+            normalized_eps=float(work_eps),
+            n_threads=self.n_threads,
+            n_tasks=len(tasks),
+            stats=stats,
+        )
+        return output, report
+
+
+def superego_selfjoin(points: np.ndarray, eps: float,
+                      n_threads: Optional[int] = None,
+                      include_self: bool = True) -> EGOJoinOutput:
+    """Convenience wrapper: run SUPEREGO with default settings.
+
+    Set ``include_self=False`` to drop the trivial (p, p) pairs.
+    """
+    output = SuperEGO(n_threads=n_threads).join(points, eps)
+    if not include_self:
+        result = output.result.without_self_pairs()
+        return EGOJoinOutput(result=result, stats=output.stats)
+    return output

@@ -1,0 +1,17 @@
+"""Core GPU-SJ algorithm: grid index, kernels, UNICOMP, batching and the public API."""
+
+from repro.core.gridindex import GridIndex
+from repro.core.result import NeighborTable, ResultSet
+from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig, selfjoin
+from repro.core.batching import BatchPlan, BatchPlanner
+
+__all__ = [
+    "GridIndex",
+    "NeighborTable",
+    "ResultSet",
+    "GPUSelfJoin",
+    "SelfJoinConfig",
+    "selfjoin",
+    "BatchPlan",
+    "BatchPlanner",
+]

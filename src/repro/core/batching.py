@@ -1,0 +1,275 @@
+"""Result-set batching (paper Section V-A).
+
+In low dimensionality the self-join result can exceed the GPU's global
+memory, and even when it does not, splitting the work into at least three
+batches lets the result transfer of one batch overlap with the computation
+of the next.  This module provides:
+
+* :class:`BatchPlanner` — estimates the total result size by joining a sample
+  of the non-empty cells, sizes the per-batch result buffer against the
+  device's free global memory, and splits the non-empty cells into
+  work-balanced batches (never fewer than ``min_batches``, the paper uses 3).
+* :func:`execute_batched` — runs a kernel batch-by-batch, verifies each batch
+  fits the planned buffer (adaptively splitting a batch that overflows), and
+  reports the compute/transfer overlap timeline via
+  :func:`repro.gpusim.streams.simulate_pipeline`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.gridindex import GridIndex
+from repro.core.kernels import KernelOutput, KernelStats
+from repro.core.result import ResultSet
+from repro.gpusim.device import Device
+from repro.gpusim.streams import PipelineReport, simulate_pipeline
+from repro.utils.timing import Timer
+
+#: Bytes per result pair: two int64 ids (key and value), as in the paper's
+#: key/value result buffer.
+PAIR_BYTES = 16
+
+#: Safety factor applied to the sampled result-size estimate before deciding
+#: the batch count (under-estimating would overflow the result buffer).
+ESTIMATE_SAFETY_FACTOR = 1.5
+
+#: A kernel callable: (index, eps, source_cells) -> KernelOutput.
+KernelFn = Callable[[GridIndex, float, Optional[np.ndarray]], KernelOutput]
+
+
+@dataclass
+class BatchPlan:
+    """A partition of the non-empty cells into batches.
+
+    Attributes
+    ----------
+    cell_batches:
+        One int64 array of cell indices (into ``B``) per batch.
+    estimated_total_pairs:
+        Result-size estimate used for planning.
+    buffer_capacity_pairs:
+        Capacity of the per-batch device result buffer in pairs.
+    device_bytes_for_data:
+        Bytes reserved on the device for the dataset and index.
+    """
+
+    cell_batches: List[np.ndarray]
+    estimated_total_pairs: int
+    buffer_capacity_pairs: int
+    device_bytes_for_data: int = 0
+
+    @property
+    def n_batches(self) -> int:
+        """Number of planned batches."""
+        return len(self.cell_batches)
+
+    def total_cells(self) -> int:
+        """Total number of cells across batches (must equal ``|G|``)."""
+        return int(sum(b.shape[0] for b in self.cell_batches))
+
+
+@dataclass
+class BatchExecutionReport:
+    """Measured outcome of a batched execution."""
+
+    plan: BatchPlan
+    batch_pairs: List[int] = field(default_factory=list)
+    batch_times: List[float] = field(default_factory=list)
+    splits_performed: int = 0
+    pipeline: Optional[PipelineReport] = None
+
+    @property
+    def total_pairs(self) -> int:
+        """Total result pairs across batches."""
+        return int(sum(self.batch_pairs))
+
+    @property
+    def total_kernel_time(self) -> float:
+        """Total kernel wall-clock time across batches (seconds)."""
+        return float(sum(self.batch_times))
+
+
+class BatchPlanner:
+    """Plans the batch decomposition of a self-join.
+
+    Parameters
+    ----------
+    device:
+        Device model providing the global-memory capacity (default: a fresh
+        TITAN X Pascal model).
+    min_batches:
+        Minimum number of batches; the paper fixes this to 3 so transfers can
+        overlap with compute.
+    sample_fraction:
+        Fraction of non-empty cells joined to estimate the result size.
+    max_sample_cells:
+        Upper bound on the number of sampled cells (keeps planning cheap).
+    result_buffer_fraction:
+        Fraction of the device memory left after data/index placement that
+        may be used for the per-batch result buffer.
+    seed:
+        RNG seed for the cell sample.
+    """
+
+    def __init__(self, device: Optional[Device] = None, min_batches: int = 3,
+                 sample_fraction: float = 0.02, max_sample_cells: int = 2048,
+                 result_buffer_fraction: float = 0.5, seed: int = 0) -> None:
+        if min_batches < 1:
+            raise ValueError("min_batches must be >= 1")
+        if not (0.0 < sample_fraction <= 1.0):
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if not (0.0 < result_buffer_fraction <= 1.0):
+            raise ValueError("result_buffer_fraction must be in (0, 1]")
+        self.device = device or Device()
+        self.min_batches = int(min_batches)
+        self.sample_fraction = float(sample_fraction)
+        self.max_sample_cells = int(max_sample_cells)
+        self.result_buffer_fraction = float(result_buffer_fraction)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------ estimation
+    def estimate_result_pairs(self, index: GridIndex, eps: float,
+                              kernel: KernelFn) -> int:
+        """Estimate the total number of result pairs by sampling cells.
+
+        A uniform sample of non-empty cells is joined with the supplied
+        kernel; the sampled pair count is scaled by the ratio of total to
+        sampled *points* (cells are weighted by their population, which makes
+        the estimator exact in expectation for the GLOBAL kernel).
+        """
+        n_cells = index.num_nonempty_cells
+        if n_cells == 0:
+            return 0
+        sample_size = max(1, min(self.max_sample_cells,
+                                 int(math.ceil(n_cells * self.sample_fraction))))
+        if sample_size >= n_cells:
+            sample = np.arange(n_cells, dtype=np.int64)
+        else:
+            rng = np.random.default_rng(self.seed)
+            sample = np.sort(rng.choice(n_cells, size=sample_size, replace=False))
+        output = kernel(index, eps, sample)
+        sampled_points = int(index.cell_counts[sample].sum())
+        if sampled_points == 0:
+            return 0
+        scale = index.num_points / sampled_points
+        return int(math.ceil(output.result.num_pairs * scale))
+
+    # -------------------------------------------------------------- planning
+    def plan(self, index: GridIndex, eps: Optional[float] = None,
+             kernel: Optional[KernelFn] = None,
+             estimated_pairs: Optional[int] = None) -> BatchPlan:
+        """Produce a :class:`BatchPlan` for the given index.
+
+        Either ``kernel`` (to sample-estimate the result size) or
+        ``estimated_pairs`` must be provided.
+        """
+        eps = index.eps if eps is None else float(eps)
+        if estimated_pairs is None:
+            if kernel is None:
+                raise ValueError("plan() needs either a kernel or estimated_pairs")
+            estimated_pairs = self.estimate_result_pairs(index, eps, kernel)
+
+        data_bytes = index.points.nbytes + index.memory_footprint()
+        free_bytes = max(0, self.device.spec.global_mem_bytes - data_bytes)
+        buffer_bytes = int(free_bytes * self.result_buffer_fraction)
+        buffer_capacity_pairs = max(1, buffer_bytes // PAIR_BYTES)
+
+        padded = int(math.ceil(estimated_pairs * ESTIMATE_SAFETY_FACTOR))
+        needed = max(1, int(math.ceil(padded / buffer_capacity_pairs)))
+        n_batches = max(self.min_batches, needed)
+        n_batches = min(n_batches, max(1, index.num_nonempty_cells))
+
+        cell_batches = split_cells_balanced(index, n_batches)
+        return BatchPlan(
+            cell_batches=cell_batches,
+            estimated_total_pairs=int(estimated_pairs),
+            buffer_capacity_pairs=int(buffer_capacity_pairs),
+            device_bytes_for_data=int(data_bytes),
+        )
+
+
+def split_cells_balanced(index: GridIndex, n_batches: int) -> List[np.ndarray]:
+    """Split the non-empty cells into ``n_batches`` contiguous, work-balanced parts.
+
+    Cells are kept in ``B`` order (contiguous ranges of the lookup array,
+    which is how the CUDA implementation would partition query points) and
+    the split boundaries are chosen so each batch holds roughly the same
+    number of *points*, which is a better proxy for work than cell count.
+    """
+    n_cells = index.num_nonempty_cells
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    n_batches = min(n_batches, max(1, n_cells))
+    if n_cells == 0:
+        return [np.empty(0, dtype=np.int64)]
+    cum_points = np.cumsum(index.cell_counts)
+    total_points = int(cum_points[-1])
+    boundaries = [0]
+    for b in range(1, n_batches):
+        target = total_points * b / n_batches
+        boundary = int(np.searchsorted(cum_points, target))
+        boundaries.append(max(boundary, boundaries[-1]))
+    boundaries.append(n_cells)
+    batches: List[np.ndarray] = []
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        batches.append(np.arange(lo, hi, dtype=np.int64))
+    return batches
+
+
+def execute_batched(index: GridIndex, eps: float, plan: BatchPlan, kernel: KernelFn,
+                    device: Optional[Device] = None, n_streams: int = 3,
+                    max_adaptive_splits: int = 8,
+                    ) -> tuple[ResultSet, KernelStats, BatchExecutionReport]:
+    """Execute a self-join batch by batch.
+
+    Each batch runs the kernel over its cells; if a batch's result exceeds
+    the planned buffer capacity it is split in half and re-run (up to
+    ``max_adaptive_splits`` times overall), mirroring how an implementation
+    would re-issue a kernel whose result buffer overflowed.
+
+    Returns the merged result, the accumulated kernel work counters and a
+    :class:`BatchExecutionReport` containing the per-batch sizes/times and
+    the stream-overlap timeline.
+    """
+    device = device or Device()
+    report = BatchExecutionReport(plan=plan)
+    stats = KernelStats()
+    parts: List[ResultSet] = []
+
+    pending: List[np.ndarray] = [b for b in plan.cell_batches if b.shape[0] > 0]
+    if not pending:
+        pending = [np.empty(0, dtype=np.int64)]
+    splits = 0
+    while pending:
+        batch = pending.pop(0)
+        with Timer() as timer:
+            output = kernel(index, eps, batch)
+        pairs = output.result.num_pairs
+        if (pairs > plan.buffer_capacity_pairs and batch.shape[0] > 1
+                and splits < max_adaptive_splits):
+            # The batch would have overflowed the device result buffer:
+            # split it and re-run both halves.
+            splits += 1
+            mid = batch.shape[0] // 2
+            pending.insert(0, batch[mid:])
+            pending.insert(0, batch[:mid])
+            continue
+        stats.merge(output.stats)
+        parts.append(output.result)
+        report.batch_pairs.append(pairs)
+        report.batch_times.append(timer.elapsed)
+
+    report.splits_performed = splits
+    result = ResultSet.merge(parts) if parts else ResultSet.empty(index.num_points)
+    report.pipeline = simulate_pipeline(
+        report.batch_times,
+        [p * PAIR_BYTES for p in report.batch_pairs],
+        pcie_bandwidth_gbps=device.spec.pcie_bandwidth_gbps,
+        n_streams=n_streams,
+    )
+    return result, stats, report

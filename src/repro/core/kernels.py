@@ -1,0 +1,447 @@
+"""Self-join kernels over the grid index.
+
+Three implementations of the paper's GPUSELFJOINGLOBAL kernel (Algorithm 1)
+and its UNICOMP variant (Algorithm 2) are provided:
+
+``pointwise``
+    A literal, per-query-point transcription of Algorithm 1.  One "thread"
+    per point, nested loops over the filtered adjacent ranges, binary search
+    of ``B``.  Readable and used as the semantic reference in tests; far too
+    slow for benchmark-scale inputs.
+
+``cellwise``
+    One iteration per non-empty *cell*: the candidate cells are enumerated
+    once per source cell and the distance computations between the source
+    cell's points and the candidate points are vectorized with NumPy.
+
+``vectorized``
+    The production path.  The outer loop runs over the 3^n neighbor
+    *offsets*; for each offset every (source cell, target cell) pair is
+    resolved with one vectorized binary search, the ragged point-pair lists
+    are expanded with ``np.repeat`` arithmetic, and all distances for the
+    offset are evaluated in a single NumPy expression.  The visited cell
+    pairs and emitted results are identical to Algorithm 1; only the loop
+    nesting differs (data-parallel over cells rather than over points), which
+    mirrors how the CUDA kernel is data-parallel over points.
+
+All kernels operate on an optional subset of source cells so the batching
+scheme (Section V-A) can split the work into ≥ 3 batches whose union is the
+complete self-join result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gridindex import GridIndex
+from repro.core.neighbors import (
+    adjacent_ranges,
+    all_neighbor_offsets,
+    enumerate_candidate_cells,
+    mask_filter_ranges,
+)
+from repro.core.result import ResultSet
+from repro.core.unicomp import unicomp_candidate_cells, unicomp_offset_mask
+
+#: Default bound on the number of candidate point pairs expanded at once by
+#: the vectorized kernel.  Bounds peak memory at roughly
+#: ``max_candidate_pairs * (2 * 8 + n_dims * 8)`` bytes of temporaries.
+DEFAULT_MAX_CANDIDATE_PAIRS = 4_000_000
+
+
+@dataclass
+class KernelStats:
+    """Work counters gathered while a kernel executes.
+
+    These mirror the quantities the paper reasons about: the number of
+    candidate cells checked against ``B``, how many of them were non-empty,
+    and the number of Euclidean distance evaluations.  UNICOMP is expected to
+    roughly halve ``cells_checked`` and ``distance_calcs`` relative to the
+    GLOBAL kernel on the same input (Section V-B).
+    """
+
+    cells_checked: int = 0
+    nonempty_cells_visited: int = 0
+    distance_calcs: int = 0
+    result_pairs: int = 0
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Accumulate another batch's counters into this one (returns self)."""
+        self.cells_checked += other.cells_checked
+        self.nonempty_cells_visited += other.nonempty_cells_visited
+        self.distance_calcs += other.distance_calcs
+        self.result_pairs += other.result_pairs
+        return self
+
+
+@dataclass
+class KernelOutput:
+    """A kernel invocation's result pairs plus its work counters."""
+
+    result: ResultSet
+    stats: KernelStats = field(default_factory=KernelStats)
+
+
+# --------------------------------------------------------------------------
+# pointwise reference kernel (Algorithm 1, literal transcription)
+# --------------------------------------------------------------------------
+def selfjoin_global_pointwise(index: GridIndex, eps: Optional[float] = None,
+                              query_ids: Optional[Sequence[int]] = None) -> KernelOutput:
+    """Literal per-point transcription of Algorithm 1 (reference, slow).
+
+    Parameters
+    ----------
+    index:
+        Built grid index.
+    eps:
+        Search distance; defaults to the index's cell length (the standard
+        configuration of the paper, where the cell side length equals ε).
+    query_ids:
+        Optional subset of query point ids (defaults to all points).
+    """
+    eps = index.eps if eps is None else float(eps)
+    eps2 = eps * eps
+    points = index.points
+    stats = KernelStats()
+    keys: List[int] = []
+    values: List[int] = []
+    ids = range(index.num_points) if query_ids is None else query_ids
+    for gid in ids:
+        point = points[gid]
+        coords = index.cell_of_point(gid)
+        ranges = adjacent_ranges(coords, index.num_cells)
+        filtered = mask_filter_ranges(ranges, index.masks)
+        for cand in enumerate_candidate_cells(filtered):
+            stats.cells_checked += 1
+            linear = int(index.coords_to_linear(cand))
+            h = index.lookup_cell(linear)
+            if h < 0:
+                continue
+            stats.nonempty_cells_visited += 1
+            candidate_ids = index.points_in_cell(h)
+            diff = points[candidate_ids] - point
+            dist2 = np.einsum("ij,ij->i", diff, diff)
+            stats.distance_calcs += int(candidate_ids.shape[0])
+            within = candidate_ids[dist2 <= eps2]
+            keys.extend([gid] * int(within.shape[0]))
+            values.extend(within.tolist())
+    result = ResultSet(keys=np.asarray(keys, dtype=np.int64),
+                       values=np.asarray(values, dtype=np.int64),
+                       num_points=index.num_points)
+    stats.result_pairs = result.num_pairs
+    return KernelOutput(result=result, stats=stats)
+
+
+# --------------------------------------------------------------------------
+# cellwise kernels
+# --------------------------------------------------------------------------
+def selfjoin_global_cellwise(index: GridIndex, eps: Optional[float] = None,
+                             source_cells: Optional[np.ndarray] = None) -> KernelOutput:
+    """Per-cell GLOBAL kernel: every source cell scans its non-empty adjacent cells."""
+    eps = index.eps if eps is None else float(eps)
+    eps2 = eps * eps
+    points = index.points
+    stats = KernelStats()
+    key_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    cells = np.arange(index.num_nonempty_cells) if source_cells is None \
+        else np.asarray(source_cells, dtype=np.int64)
+    for h in cells:
+        src_ids = index.points_in_cell(int(h))
+        coords = index.cell_coords[int(h)]
+        ranges = adjacent_ranges(coords, index.num_cells)
+        filtered = mask_filter_ranges(ranges, index.masks)
+        candidate_ids: List[np.ndarray] = []
+        for cand in enumerate_candidate_cells(filtered):
+            stats.cells_checked += 1
+            t = index.lookup_cell(int(index.coords_to_linear(cand)))
+            if t < 0:
+                continue
+            stats.nonempty_cells_visited += 1
+            candidate_ids.append(index.points_in_cell(t))
+        if not candidate_ids:
+            continue
+        cand_arr = np.concatenate(candidate_ids)
+        diff = points[src_ids][:, None, :] - points[cand_arr][None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        stats.distance_calcs += int(dist2.size)
+        qi, ci = np.nonzero(dist2 <= eps2)
+        key_parts.append(src_ids[qi])
+        val_parts.append(cand_arr[ci])
+    result = _pairs_to_result(key_parts, val_parts, index.num_points)
+    stats.result_pairs = result.num_pairs
+    return KernelOutput(result=result, stats=stats)
+
+
+def selfjoin_unicomp_cellwise(index: GridIndex, eps: Optional[float] = None,
+                              source_cells: Optional[np.ndarray] = None) -> KernelOutput:
+    """Per-cell UNICOMP kernel following Algorithm 2's loop structure.
+
+    The home cell is scanned normally (each ordered intra-cell pair emitted
+    once); for the UNICOMP-selected neighbor cells both ordered pairs
+    ``(p, q)`` and ``(q, p)`` are emitted, so the output matches the GLOBAL
+    kernel exactly.
+    """
+    eps = index.eps if eps is None else float(eps)
+    eps2 = eps * eps
+    points = index.points
+    stats = KernelStats()
+    key_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    cells = np.arange(index.num_nonempty_cells) if source_cells is None \
+        else np.asarray(source_cells, dtype=np.int64)
+    for h in cells:
+        src_ids = index.points_in_cell(int(h))
+        coords = index.cell_coords[int(h)]
+
+        # Home cell: all ordered pairs within the cell (including self-pairs).
+        stats.cells_checked += 1
+        stats.nonempty_cells_visited += 1
+        diff = points[src_ids][:, None, :] - points[src_ids][None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        stats.distance_calcs += int(dist2.size)
+        qi, ci = np.nonzero(dist2 <= eps2)
+        key_parts.append(src_ids[qi])
+        val_parts.append(src_ids[ci])
+
+        # UNICOMP-selected neighbor cells.
+        candidate_ids: List[np.ndarray] = []
+        for cand in unicomp_candidate_cells(coords, index.masks, index.num_cells):
+            stats.cells_checked += 1
+            t = index.lookup_cell(int(index.coords_to_linear(cand)))
+            if t < 0:
+                continue
+            stats.nonempty_cells_visited += 1
+            candidate_ids.append(index.points_in_cell(t))
+        if not candidate_ids:
+            continue
+        cand_arr = np.concatenate(candidate_ids)
+        diff = points[src_ids][:, None, :] - points[cand_arr][None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        stats.distance_calcs += int(dist2.size)
+        qi, ci = np.nonzero(dist2 <= eps2)
+        q_pts = src_ids[qi]
+        c_pts = cand_arr[ci]
+        key_parts.append(q_pts)
+        val_parts.append(c_pts)
+        key_parts.append(c_pts)
+        val_parts.append(q_pts)
+    result = _pairs_to_result(key_parts, val_parts, index.num_points)
+    stats.result_pairs = result.num_pairs
+    return KernelOutput(result=result, stats=stats)
+
+
+# --------------------------------------------------------------------------
+# vectorized kernels (production path)
+# --------------------------------------------------------------------------
+def selfjoin_global_vectorized(index: GridIndex, eps: Optional[float] = None,
+                               source_cells: Optional[np.ndarray] = None,
+                               max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                               ) -> KernelOutput:
+    """Vectorized GLOBAL kernel (offset-major loop order).
+
+    For each of the ``3^n`` neighbor offsets, all (source, target) non-empty
+    cell pairs are resolved at once and their candidate point pairs expanded
+    and distance-filtered in chunks of at most ``max_candidate_pairs``.
+    """
+    eps = index.eps if eps is None else float(eps)
+    stats = KernelStats()
+    key_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    cells = np.arange(index.num_nonempty_cells, dtype=np.int64) if source_cells is None \
+        else np.asarray(source_cells, dtype=np.int64)
+    offsets = all_neighbor_offsets(index.num_dims, include_home=True)
+    for offset in offsets:
+        src, tgt, checked = _resolve_offset_pairs(index, cells, offset)
+        stats.cells_checked += checked
+        stats.nonempty_cells_visited += int(src.shape[0])
+        if src.shape[0] == 0:
+            continue
+        n_dist = _emit_pairs_chunked(index, src, tgt, eps, max_candidate_pairs,
+                                     key_parts, val_parts, mirror=False)
+        stats.distance_calcs += n_dist
+    result = _pairs_to_result(key_parts, val_parts, index.num_points)
+    stats.result_pairs = result.num_pairs
+    return KernelOutput(result=result, stats=stats)
+
+
+def selfjoin_unicomp_vectorized(index: GridIndex, eps: Optional[float] = None,
+                                source_cells: Optional[np.ndarray] = None,
+                                max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                                ) -> KernelOutput:
+    """Vectorized UNICOMP kernel.
+
+    The home offset is processed for every source cell; each non-home offset
+    is processed only for the source cells whose UNICOMP parity rule selects
+    it, and both ordered pairs are emitted for the matches found.
+    """
+    eps = index.eps if eps is None else float(eps)
+    stats = KernelStats()
+    key_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    cells = np.arange(index.num_nonempty_cells, dtype=np.int64) if source_cells is None \
+        else np.asarray(source_cells, dtype=np.int64)
+    offsets = all_neighbor_offsets(index.num_dims, include_home=True)
+    for offset in offsets:
+        is_home = bool(np.all(offset == 0))
+        if is_home:
+            selected = cells
+        else:
+            mask = unicomp_offset_mask(index.cell_coords[cells], offset)
+            selected = cells[mask]
+        if selected.shape[0] == 0:
+            continue
+        src, tgt, checked = _resolve_offset_pairs(index, selected, offset)
+        stats.cells_checked += checked
+        stats.nonempty_cells_visited += int(src.shape[0])
+        if src.shape[0] == 0:
+            continue
+        n_dist = _emit_pairs_chunked(index, src, tgt, eps, max_candidate_pairs,
+                                     key_parts, val_parts, mirror=not is_home)
+        stats.distance_calcs += n_dist
+    result = _pairs_to_result(key_parts, val_parts, index.num_points)
+    stats.result_pairs = result.num_pairs
+    return KernelOutput(result=result, stats=stats)
+
+
+#: Registry used by :class:`repro.core.selfjoin.GPUSelfJoin` to dispatch on
+#: (kernel implementation, unicomp flag).
+KERNELS = {
+    ("pointwise", False): lambda index, eps, cells, chunk: selfjoin_global_pointwise(index, eps),
+    ("cellwise", False): lambda index, eps, cells, chunk: selfjoin_global_cellwise(index, eps, cells),
+    ("cellwise", True): lambda index, eps, cells, chunk: selfjoin_unicomp_cellwise(index, eps, cells),
+    ("vectorized", False): lambda index, eps, cells, chunk: selfjoin_global_vectorized(
+        index, eps, cells, chunk),
+    ("vectorized", True): lambda index, eps, cells, chunk: selfjoin_unicomp_vectorized(
+        index, eps, cells, chunk),
+}
+
+
+# --------------------------------------------------------------------------
+# internal helpers
+# --------------------------------------------------------------------------
+def _resolve_offset_pairs(index: GridIndex, source_cells: np.ndarray,
+                          offset: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Map each source cell to its neighbor cell at ``offset``.
+
+    Returns ``(src, tgt, checked)`` where ``src``/``tgt`` are indices into
+    ``B`` for the pairs whose neighbor exists (is inside the grid, passes the
+    per-dimension masks and is non-empty), and ``checked`` is the number of
+    candidate cells that survived the mask filter and were binary-searched
+    (the quantity the masking arrays are designed to reduce).
+    """
+    coords = index.cell_coords[source_cells]
+    neighbor = coords + np.asarray(offset, dtype=np.int64)[None, :]
+    inside = np.all((neighbor >= 0) & (neighbor < index.num_cells[None, :]), axis=1)
+    # Mask filter: each neighbor coordinate must be non-empty in its dimension.
+    for j, mask in enumerate(index.masks):
+        if not inside.any():
+            break
+        pos = np.searchsorted(mask, neighbor[:, j])
+        pos = np.minimum(pos, mask.shape[0] - 1)
+        inside &= mask[pos] == neighbor[:, j]
+    candidates = np.flatnonzero(inside)
+    checked = int(candidates.shape[0])
+    if checked == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0)
+    linear = index.coords_to_linear(neighbor[candidates])
+    tgt = index.lookup_cells(linear)
+    found = tgt >= 0
+    src = source_cells[candidates[found]]
+    return src.astype(np.int64), tgt[found].astype(np.int64), checked
+
+
+def _emit_pairs_chunked(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
+                        eps: float, max_candidate_pairs: int,
+                        key_parts: List[np.ndarray], val_parts: List[np.ndarray],
+                        mirror: bool) -> int:
+    """Expand cell pairs into point pairs, filter by distance, append results.
+
+    Returns the number of distance evaluations performed.  When ``mirror`` is
+    true both ordered pairs are appended for every match (UNICOMP non-home
+    offsets).
+    """
+    eps2 = eps * eps
+    points = index.points
+    sizes_s = index.cell_counts[src]
+    sizes_t = index.cell_counts[tgt]
+    pair_counts = sizes_s * sizes_t
+    total = int(pair_counts.sum())
+    if total == 0:
+        return 0
+    n_dist = 0
+    # Split the cell-pair list into chunks whose expanded size stays bounded.
+    boundaries = _chunk_boundaries(pair_counts, max_candidate_pairs)
+    for lo, hi in boundaries:
+        q_idx, c_idx = _expand_cell_pairs(index, src[lo:hi], tgt[lo:hi])
+        diff = points[q_idx] - points[c_idx]
+        dist2 = np.einsum("ij,ij->i", diff, diff)
+        n_dist += int(dist2.shape[0])
+        within = dist2 <= eps2
+        q_sel = q_idx[within]
+        c_sel = c_idx[within]
+        key_parts.append(q_sel)
+        val_parts.append(c_sel)
+        if mirror:
+            key_parts.append(c_sel)
+            val_parts.append(q_sel)
+    return n_dist
+
+
+def _chunk_boundaries(pair_counts: np.ndarray, max_candidate_pairs: int) -> List[tuple[int, int]]:
+    """Split a cell-pair list into ranges whose total expansion is bounded."""
+    boundaries: List[tuple[int, int]] = []
+    lo = 0
+    running = 0
+    n = int(pair_counts.shape[0])
+    for i in range(n):
+        count = int(pair_counts[i])
+        if running and running + count > max_candidate_pairs:
+            boundaries.append((lo, i))
+            lo = i
+            running = 0
+        running += count
+    boundaries.append((lo, n))
+    return boundaries
+
+
+def _expand_cell_pairs(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Expand (source cell, target cell) pairs into all candidate point pairs.
+
+    Uses the standard ragged-expansion arithmetic: for the k-th cell pair with
+    ``s_k`` source points and ``t_k`` target points, ``s_k * t_k`` flat local
+    indices are generated and decomposed into (row, column) offsets into the
+    point lookup array ``A``.
+    """
+    sizes_s = index.cell_counts[src].astype(np.int64)
+    sizes_t = index.cell_counts[tgt].astype(np.int64)
+    starts_s = index.cell_starts[src].astype(np.int64)
+    starts_t = index.cell_starts[tgt].astype(np.int64)
+    pair_counts = sizes_s * sizes_t
+    total = int(pair_counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    pair_offsets = np.zeros(pair_counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(pair_counts, out=pair_offsets[1:])
+    pair_id = np.repeat(np.arange(pair_counts.shape[0], dtype=np.int64), pair_counts)
+    local = np.arange(total, dtype=np.int64) - pair_offsets[pair_id]
+    st = sizes_t[pair_id]
+    i_local = local // st
+    j_local = local - i_local * st
+    q_idx = index.A[starts_s[pair_id] + i_local]
+    c_idx = index.A[starts_t[pair_id] + j_local]
+    return q_idx, c_idx
+
+
+def _pairs_to_result(key_parts: List[np.ndarray], val_parts: List[np.ndarray],
+                     num_points: int) -> ResultSet:
+    """Concatenate per-offset/per-cell pair fragments into a ResultSet."""
+    if not key_parts:
+        return ResultSet.empty(num_points)
+    keys = np.concatenate(key_parts).astype(np.int64)
+    values = np.concatenate(val_parts).astype(np.int64)
+    return ResultSet(keys=keys, values=values, num_points=num_points)

@@ -1,0 +1,145 @@
+"""Adjacent-cell enumeration and mask filtering (paper Section IV-D).
+
+Given the cell of a query point, the search for points within ε is bounded to
+the 3^n adjacent cells.  The kernels first compute the per-dimension adjacent
+ranges ``O_j = [c_j - 1, c_j + 1]`` clipped to the grid, then intersect each
+range with the per-dimension mask ``M_j`` of non-empty coordinates, and only
+then enumerate the candidate cells and binary-search them in ``B``.
+
+Two flavours are provided:
+
+* scalar/per-cell helpers used by the readable "cellwise" kernel and the
+  per-thread simulated kernel, and
+* vectorized helpers (offset enumeration) used by the fast NumPy kernels.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.gridindex import GridIndex
+
+
+def adjacent_ranges(cell_coords: np.ndarray, num_cells: np.ndarray) -> np.ndarray:
+    """Per-dimension adjacent ranges of a cell, clipped to the grid.
+
+    Parameters
+    ----------
+    cell_coords:
+        ``(n_dims,)`` integer coordinates of the query cell.
+    num_cells:
+        ``(n_dims,)`` cells per dimension.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_dims, 2)`` array of inclusive ``[lo, hi]`` ranges
+        (Algorithm 1, line 6 / the black dashed box in Figure 2b).
+    """
+    cell_coords = np.asarray(cell_coords, dtype=np.int64)
+    num_cells = np.asarray(num_cells, dtype=np.int64)
+    lo = np.maximum(cell_coords - 1, 0)
+    hi = np.minimum(cell_coords + 1, num_cells - 1)
+    return np.stack([lo, hi], axis=1)
+
+
+def mask_filter_ranges(ranges: np.ndarray, masks: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Intersect adjacent ranges with the per-dimension masks ``M_j``.
+
+    Returns, for every dimension, the array of coordinates inside
+    ``[lo_j, hi_j]`` that are non-empty in that dimension (Algorithm 1,
+    line 7 / the orange box in Figure 2b).  An empty array in any dimension
+    means no adjacent cell can contain points.
+    """
+    filtered: List[np.ndarray] = []
+    for j, mask in enumerate(masks):
+        lo, hi = int(ranges[j, 0]), int(ranges[j, 1])
+        left = int(np.searchsorted(mask, lo, side="left"))
+        right = int(np.searchsorted(mask, hi, side="right"))
+        filtered.append(mask[left:right])
+    return filtered
+
+
+def enumerate_candidate_cells(filtered: Sequence[np.ndarray]) -> Iterator[np.ndarray]:
+    """Iterate the cartesian product of the filtered per-dimension coordinates.
+
+    Yields ``(n_dims,)`` coordinate arrays — the nested loops of Algorithm 1,
+    lines 8–10 generalized to n dimensions.
+    """
+    for combo in product(*[mask.tolist() for mask in filtered]):
+        yield np.asarray(combo, dtype=np.int64)
+
+
+def candidate_cells_of_point(index: GridIndex, point_id: int) -> List[int]:
+    """Non-empty adjacent cells (indices into ``B``) of a point's cell.
+
+    Convenience wrapper combining range computation, mask filtering, candidate
+    enumeration and the binary search in ``B``; primarily used by tests and by
+    the readable reference kernels.
+    """
+    coords = index.cell_of_point(point_id)
+    ranges = adjacent_ranges(coords, index.num_cells)
+    filtered = mask_filter_ranges(ranges, index.masks)
+    found: List[int] = []
+    for cand in enumerate_candidate_cells(filtered):
+        linear = int(index.coords_to_linear(cand))
+        h = index.lookup_cell(linear)
+        if h >= 0:
+            found.append(h)
+    return found
+
+
+def all_neighbor_offsets(n_dims: int, include_home: bool = True) -> np.ndarray:
+    """All offsets in ``{-1, 0, +1}^n`` as an ``(3^n, n)`` int64 array.
+
+    The vectorized kernels iterate offsets (outer loop) and cells (inner,
+    vectorized) instead of the per-point loops of Algorithm 1; the visited
+    cell pairs are identical.
+
+    Parameters
+    ----------
+    n_dims:
+        Dimensionality of the grid.
+    include_home:
+        When ``False`` the all-zero offset is omitted.
+    """
+    grids = np.meshgrid(*([np.array([-1, 0, 1], dtype=np.int64)] * n_dims), indexing="ij")
+    offsets = np.stack([g.ravel() for g in grids], axis=1)
+    if not include_home:
+        keep = ~np.all(offsets == 0, axis=1)
+        offsets = offsets[keep]
+    return offsets
+
+
+def neighbor_cells_for_offset(index: GridIndex, offset: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """For one offset, map every non-empty cell to its (possibly empty) neighbor.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.gridindex.GridIndex`.
+    offset:
+        ``(n_dims,)`` offset in ``{-1, 0, 1}^n``.
+
+    Returns
+    -------
+    (source, target):
+        Two equal-length int64 arrays of indices into ``B``: ``source[k]`` is a
+        non-empty cell whose neighbor at ``offset`` is the non-empty cell
+        ``target[k]``.  Cells whose neighbor falls outside the grid or is
+        empty are dropped.
+    """
+    coords = index.cell_coords
+    neighbor = coords + np.asarray(offset, dtype=np.int64)[None, :]
+    inside = np.all((neighbor >= 0) & (neighbor < index.num_cells[None, :]), axis=1)
+    src = np.flatnonzero(inside)
+    if src.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    linear = index.coords_to_linear(neighbor[src])
+    tgt = index.lookup_cells(linear)
+    found = tgt >= 0
+    return src[found].astype(np.int64), tgt[found].astype(np.int64)

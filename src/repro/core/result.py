@@ -1,0 +1,185 @@
+"""Result containers for the self-join.
+
+The GPU kernel of the paper stores results as key/value pairs — the key is
+the query point id and the value is a point found within ε (Algorithm 1,
+line 17) — which are sorted after the kernel and transferred to the host.
+:class:`ResultSet` models that pair list; :class:`NeighborTable` is the
+CSR-style neighbor-list view that downstream algorithms (e.g. DBSCAN in
+:mod:`repro.apps.dbscan`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ResultSet:
+    """Self-join result as parallel key/value arrays of point ids.
+
+    Attributes
+    ----------
+    keys:
+        Query point ids (``int64``).
+    values:
+        Neighbor point ids (``int64``), aligned with ``keys``.
+    num_points:
+        Number of points in the joined dataset; retained so that an empty
+        result can still be converted to a :class:`NeighborTable`.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+    num_points: int
+    _sorted: bool = field(default=False, repr=False)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def empty(cls, num_points: int) -> "ResultSet":
+        """An empty result over ``num_points`` points."""
+        return cls(keys=np.empty(0, dtype=np.int64),
+                   values=np.empty(0, dtype=np.int64),
+                   num_points=int(num_points),
+                   _sorted=True)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]], num_points: int) -> "ResultSet":
+        """Build from an iterable of ``(query_id, neighbor_id)`` tuples."""
+        pair_list = list(pairs)
+        if not pair_list:
+            return cls.empty(num_points)
+        arr = np.asarray(pair_list, dtype=np.int64)
+        return cls(keys=arr[:, 0].copy(), values=arr[:, 1].copy(),
+                   num_points=int(num_points))
+
+    @classmethod
+    def merge(cls, parts: Sequence["ResultSet"]) -> "ResultSet":
+        """Concatenate several batch results into one (used by the batcher)."""
+        if not parts:
+            raise ValueError("merge requires at least one ResultSet")
+        num_points = parts[0].num_points
+        for part in parts:
+            if part.num_points != num_points:
+                raise ValueError("all merged ResultSets must cover the same dataset")
+        keys = np.concatenate([p.keys for p in parts]) if parts else np.empty(0, np.int64)
+        values = np.concatenate([p.values for p in parts]) if parts else np.empty(0, np.int64)
+        return cls(keys=keys.astype(np.int64), values=values.astype(np.int64),
+                   num_points=num_points)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def num_pairs(self) -> int:
+        """Total number of (ordered) result pairs, including self-pairs if present."""
+        return int(self.keys.shape[0])
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Number of neighbors per query point (length ``num_points``)."""
+        return np.bincount(self.keys, minlength=self.num_points).astype(np.int64)
+
+    def average_neighbors(self, exclude_self: bool = False) -> float:
+        """Average neighbors per point; optionally excluding the self-pair.
+
+        The paper's Figure 1 reports "Avg. Neighbors", which excludes the
+        trivial self-match; pass ``exclude_self=True`` to match that
+        convention when self-pairs are present.
+        """
+        if self.num_points == 0:
+            return 0.0
+        total = self.num_pairs
+        if exclude_self:
+            total -= int(np.count_nonzero(self.keys == self.values))
+        return total / self.num_points
+
+    # ---------------------------------------------------------------- methods
+    def sort(self) -> "ResultSet":
+        """Return a copy sorted by (key, value) — the post-kernel sort of the paper."""
+        order = np.lexsort((self.values, self.keys))
+        return ResultSet(keys=self.keys[order], values=self.values[order],
+                         num_points=self.num_points, _sorted=True)
+
+    def canonical_pairs(self) -> np.ndarray:
+        """Sorted, de-duplicated ``(num_pairs, 2)`` array of ordered pairs.
+
+        Canonical form used to compare algorithm outputs in tests; duplicate
+        emissions (which a buggy kernel could produce) are collapsed so
+        equality is a strict correctness statement.
+        """
+        if self.num_pairs == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        pairs = np.stack([self.keys, self.values], axis=1)
+        return np.unique(pairs, axis=0)
+
+    def same_pairs_as(self, other: "ResultSet") -> bool:
+        """True when both results contain exactly the same set of ordered pairs."""
+        return bool(np.array_equal(self.canonical_pairs(), other.canonical_pairs()))
+
+    def is_symmetric(self) -> bool:
+        """True when for every pair (p, q) the mirrored pair (q, p) is present."""
+        pairs = self.canonical_pairs()
+        mirrored = np.unique(pairs[:, ::-1], axis=0)
+        return bool(np.array_equal(pairs, mirrored))
+
+    def contains_all_self_pairs(self) -> bool:
+        """True when every point reports itself as a neighbor (dist 0 <= eps)."""
+        self_keys = self.keys[self.keys == self.values]
+        return np.unique(self_keys).shape[0] == self.num_points
+
+    def without_self_pairs(self) -> "ResultSet":
+        """Copy with the (p, p) pairs removed."""
+        keep = self.keys != self.values
+        return ResultSet(keys=self.keys[keep], values=self.values[keep],
+                         num_points=self.num_points)
+
+    def to_neighbor_table(self) -> "NeighborTable":
+        """Convert to a CSR neighbor table (sorts the pairs first)."""
+        sorted_self = self.sort()
+        counts = sorted_self.neighbor_counts()
+        offsets = np.zeros(self.num_points + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return NeighborTable(offsets=offsets, neighbors=sorted_self.values.copy(),
+                             num_points=self.num_points)
+
+
+@dataclass
+class NeighborTable:
+    """CSR neighbor-list view of a self-join result.
+
+    ``neighbors[offsets[i]:offsets[i+1]]`` are the neighbors of point ``i``,
+    sorted by id.
+    """
+
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    num_points: int
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        """Neighbor ids of point ``i``."""
+        if i < 0 or i >= self.num_points:
+            raise IndexError(f"point id {i} out of range [0, {self.num_points})")
+        return self.neighbors[self.offsets[i]:self.offsets[i + 1]]
+
+    def counts(self) -> np.ndarray:
+        """Neighbors per point."""
+        return np.diff(self.offsets)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total number of stored (ordered) pairs."""
+        return int(self.neighbors.shape[0])
+
+    def degree(self, i: int) -> int:
+        """Number of neighbors of point ``i``."""
+        return int(self.offsets[i + 1] - self.offsets[i])
+
+    def validate(self) -> None:
+        """Check CSR invariants (monotone offsets, id bounds)."""
+        assert self.offsets.shape[0] == self.num_points + 1
+        assert self.offsets[0] == 0
+        assert np.all(np.diff(self.offsets) >= 0), "offsets must be non-decreasing"
+        assert int(self.offsets[-1]) == self.neighbors.shape[0]
+        if self.neighbors.size:
+            assert self.neighbors.min() >= 0
+            assert self.neighbors.max() < self.num_points

@@ -1,0 +1,278 @@
+"""Public self-join API (GPU-SJ).
+
+:class:`GPUSelfJoin` wires the pieces of the paper's algorithm together:
+
+1. build the non-empty-cell grid index with cell side length ε
+   (:mod:`repro.core.gridindex`),
+2. plan the batch decomposition against the device's global memory
+   (:mod:`repro.core.batching`, minimum 3 batches),
+3. run the GLOBAL or UNICOMP kernel over each batch
+   (:mod:`repro.core.kernels`), and
+4. merge/sort the key-value result pairs (:mod:`repro.core.result`).
+
+The module-level :func:`selfjoin` function is the one-call convenience entry
+point used throughout the examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.batching import (
+    BatchExecutionReport,
+    BatchPlan,
+    BatchPlanner,
+    execute_batched,
+)
+from repro.core.gridindex import GridIndex, GridIndexStats
+from repro.core.kernels import (
+    DEFAULT_MAX_CANDIDATE_PAIRS,
+    KERNELS,
+    KernelOutput,
+    KernelStats,
+)
+from repro.core.result import ResultSet
+from repro.gpusim.device import Device, DeviceSpec
+from repro.utils.timing import Timer
+from repro.utils.validation import check_eps, check_points
+
+#: Kernel implementations accepted by :class:`SelfJoinConfig.kernel`.
+VALID_KERNELS = ("vectorized", "cellwise", "pointwise", "simulated")
+
+
+@dataclass
+class SelfJoinConfig:
+    """Configuration of a GPU-SJ run.
+
+    Attributes
+    ----------
+    unicomp:
+        Enable the UNICOMP work-avoidance optimization (Section V-B).  The
+        paper's headline configuration ("GPU: unicomp") enables it.
+    kernel:
+        Kernel implementation: ``"vectorized"`` (production),
+        ``"cellwise"``/``"pointwise"`` (readable references) or
+        ``"simulated"`` (instrumented device-model path used for Table II).
+    batching:
+        Enable the result-set batching scheme (Section V-A).
+    min_batches:
+        Minimum number of batches when batching is enabled (paper: 3).
+    include_self:
+        Whether the trivial (p, p) pairs (distance 0 ≤ ε) are kept.  The
+        CUDA kernel naturally produces them; set ``False`` to drop them.
+    sort_result:
+        Sort the key/value pairs after the join (the paper sorts before the
+        host transfer).
+    max_candidate_pairs:
+        Memory bound of the vectorized kernel's pair expansion.
+    threads_per_block:
+        Launch configuration of the simulated kernel path.
+    validate_index:
+        Run the index invariants check after construction (slow; for tests).
+    device_spec:
+        Device specification used for batching/occupancy modelling.
+    n_streams:
+        Streams used by the batching overlap model.
+    max_dims:
+        Guard on dimensionality (the paper targets 2–6; ``None`` disables).
+    """
+
+    unicomp: bool = True
+    kernel: str = "vectorized"
+    batching: bool = True
+    min_batches: int = 3
+    include_self: bool = True
+    sort_result: bool = False
+    max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS
+    threads_per_block: int = 256
+    validate_index: bool = False
+    device_spec: Optional[DeviceSpec] = None
+    n_streams: int = 3
+    max_dims: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel not in VALID_KERNELS:
+            raise ValueError(f"kernel must be one of {VALID_KERNELS}, got {self.kernel!r}")
+        if self.kernel == "pointwise" and self.unicomp:
+            raise ValueError("the pointwise reference kernel has no UNICOMP variant")
+        if self.min_batches < 1:
+            raise ValueError("min_batches must be >= 1")
+
+    @property
+    def algorithm_name(self) -> str:
+        """Human-readable algorithm label matching the paper's figures."""
+        return "GPU: unicomp" if self.unicomp else "GPU"
+
+
+@dataclass
+class JoinReport:
+    """Timing/work breakdown of a self-join run."""
+
+    algorithm: str
+    eps: float
+    num_points: int
+    num_pairs: int
+    index_build_time: float
+    kernel_time: float
+    total_time: float
+    kernel_stats: KernelStats
+    index_stats: GridIndexStats
+    batch_plan: Optional[BatchPlan] = None
+    batch_report: Optional[BatchExecutionReport] = None
+
+    @property
+    def avg_neighbors(self) -> float:
+        """Average (ordered) result pairs per point, excluding the self-pair."""
+        if self.num_points == 0:
+            return 0.0
+        return max(0.0, self.num_pairs / self.num_points - 1.0)
+
+
+class GPUSelfJoin:
+    """The GPU-SJ algorithm of the paper, configured once and reusable.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig
+    >>> points = np.random.default_rng(1).uniform(0, 10, (500, 3))
+    >>> joiner = GPUSelfJoin(SelfJoinConfig(unicomp=True))
+    >>> result = joiner.join(points, eps=1.0)
+    >>> result.is_symmetric()
+    True
+    """
+
+    def __init__(self, config: Optional[SelfJoinConfig] = None) -> None:
+        self.config = config or SelfJoinConfig()
+        self.device = Device(self.config.device_spec)
+
+    # -------------------------------------------------------------- indexing
+    def build_index(self, points: np.ndarray, eps: float) -> GridIndex:
+        """Build the ε-grid index for ``points`` (validates inputs)."""
+        pts = check_points(points, max_dims=self.config.max_dims)
+        eps = check_eps(eps)
+        index = GridIndex.build(pts, eps)
+        if self.config.validate_index:
+            index.validate()
+        return index
+
+    # ----------------------------------------------------------------- joins
+    def join(self, points: np.ndarray, eps: float) -> ResultSet:
+        """Compute the self-join and return the result pairs."""
+        result, _ = self.join_with_report(points, eps)
+        return result
+
+    def join_with_report(self, points: np.ndarray, eps: float
+                         ) -> Tuple[ResultSet, JoinReport]:
+        """Compute the self-join and return ``(result, report)``."""
+        total_timer = Timer()
+        total_timer.start()
+
+        with Timer() as build_timer:
+            index = self.build_index(points, eps)
+
+        result, stats, plan, batch_report, kernel_time = self._run_kernel(index, eps)
+
+        if not self.config.include_self:
+            result = result.without_self_pairs()
+        if self.config.sort_result:
+            result = result.sort()
+
+        total_time = total_timer.stop()
+        report = JoinReport(
+            algorithm=self.config.algorithm_name,
+            eps=float(eps),
+            num_points=index.num_points,
+            num_pairs=result.num_pairs,
+            index_build_time=build_timer.elapsed,
+            kernel_time=kernel_time,
+            total_time=total_time,
+            kernel_stats=stats,
+            index_stats=index.stats(),
+            batch_plan=plan,
+            batch_report=batch_report,
+        )
+        return result, report
+
+    def join_index(self, index: GridIndex, eps: Optional[float] = None) -> ResultSet:
+        """Join a pre-built index (eps defaults to the index's cell length)."""
+        eps = index.eps if eps is None else check_eps(eps)
+        result, _, _, _, _ = self._run_kernel(index, eps)
+        if not self.config.include_self:
+            result = result.without_self_pairs()
+        if self.config.sort_result:
+            result = result.sort()
+        return result
+
+    # -------------------------------------------------------------- internals
+    def _kernel_fn(self):
+        """Resolve the configured kernel callable with the KernelFn signature."""
+        cfg = self.config
+        if cfg.kernel == "simulated":
+            from repro.core.simkernels import simulated_selfjoin
+
+            def kernel(index: GridIndex, eps: float, cells) -> KernelOutput:
+                # The simulated path has no cell-subset support (it is
+                # per-point, like the CUDA kernel); it is never batched.
+                out = simulated_selfjoin(index, eps, unicomp=cfg.unicomp,
+                                         device=self.device,
+                                         threads_per_block=cfg.threads_per_block)
+                return KernelOutput(result=out.result, stats=KernelStats(
+                    result_pairs=out.result.num_pairs))
+            return kernel
+
+        impl = KERNELS[(cfg.kernel, cfg.unicomp)]
+
+        def kernel(index: GridIndex, eps: float, cells) -> KernelOutput:
+            return impl(index, eps, cells, cfg.max_candidate_pairs)
+
+        return kernel
+
+    def _run_kernel(self, index: GridIndex, eps: float):
+        """Run the configured kernel, batched or not; returns run artefacts."""
+        cfg = self.config
+        kernel = self._kernel_fn()
+        plan: Optional[BatchPlan] = None
+        batch_report: Optional[BatchExecutionReport] = None
+
+        use_batching = cfg.batching and cfg.kernel in ("vectorized", "cellwise")
+        with Timer() as kernel_timer:
+            if use_batching:
+                planner = BatchPlanner(device=self.device, min_batches=cfg.min_batches)
+                plan = planner.plan(index, eps, kernel=kernel)
+                result, stats, batch_report = execute_batched(
+                    index, eps, plan, kernel, device=self.device,
+                    n_streams=cfg.n_streams)
+            else:
+                output = kernel(index, eps, None)
+                result, stats = output.result, output.stats
+        return result, stats, plan, batch_report, kernel_timer.elapsed
+
+
+def selfjoin(points: np.ndarray, eps: float, *, unicomp: bool = True,
+             kernel: str = "vectorized", batching: bool = True,
+             include_self: bool = True, sort_result: bool = False,
+             **config_kwargs) -> ResultSet:
+    """One-call self-join: find all point pairs within Euclidean distance ε.
+
+    Parameters
+    ----------
+    points:
+        ``(n_points, n_dims)`` array of coordinates.
+    eps:
+        Search distance.
+    unicomp, kernel, batching, include_self, sort_result, **config_kwargs:
+        Forwarded to :class:`SelfJoinConfig`.
+
+    Returns
+    -------
+    ResultSet
+        All ordered pairs ``(p, q)`` with ``dist(p, q) <= eps``.
+    """
+    config = SelfJoinConfig(unicomp=unicomp, kernel=kernel, batching=batching,
+                            include_self=include_self, sort_result=sort_result,
+                            **config_kwargs)
+    return GPUSelfJoin(config).join(points, eps)

@@ -1,0 +1,26 @@
+"""Dataset substrate: synthetic generators, real-world surrogates and the Table I registry."""
+
+from repro.data.synthetic import (
+    exponential_dataset,
+    gaussian_clusters,
+    thomas_process,
+    uniform_dataset,
+)
+from repro.data.realworld import sdss_dataset, sw_dataset
+from repro.data.datasets import DatasetSpec, DATASETS, load_dataset, list_datasets
+from repro.data.normalize import normalize_minmax, denormalize_minmax
+
+__all__ = [
+    "uniform_dataset",
+    "gaussian_clusters",
+    "exponential_dataset",
+    "thomas_process",
+    "sw_dataset",
+    "sdss_dataset",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "list_datasets",
+    "normalize_minmax",
+    "denormalize_minmax",
+]

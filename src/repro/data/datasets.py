@@ -1,0 +1,128 @@
+"""Dataset registry mirroring Table I of the paper.
+
+Each :class:`DatasetSpec` records the paper's dataset (name, size,
+dimensionality, the ε values swept in the corresponding figure) together
+with the surrogate generator and the scaled-down default size used by the
+benchmark harness.  Scaling keeps the *average-neighbor* profile of the
+paper's configuration by rescaling ε with the density rule
+
+    eps_scaled = eps_paper * (N_paper / N_scaled) ** (1 / n_dims)
+
+so the relative behaviour of the algorithms (who wins, where the curves
+bend) is preserved even though the absolute sizes are far smaller (see
+DESIGN.md §2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.realworld import sdss_dataset, sw_dataset
+from repro.data.synthetic import uniform_dataset
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table I plus reproduction metadata."""
+
+    name: str
+    family: str                      # "Syn", "SW" or "SDSS"
+    paper_points: int
+    n_dims: int
+    paper_eps: Tuple[float, ...]     # ε sweep of the corresponding figure
+    figure: str                      # paper figure panel, e.g. "4a"
+    default_scaled_points: int
+    generator: Callable[[int, Optional[int]], np.ndarray]
+
+    def generate(self, n_points: Optional[int] = None, seed: int = 0) -> np.ndarray:
+        """Generate the (scaled) dataset."""
+        n = int(n_points) if n_points is not None else self.default_scaled_points
+        return self.generator(n, seed)
+
+    def eps_scale_factor(self, n_points: Optional[int] = None) -> float:
+        """Density-preserving ε scale factor for a scaled-down point count."""
+        n = int(n_points) if n_points is not None else self.default_scaled_points
+        return float((self.paper_points / n) ** (1.0 / self.n_dims))
+
+    def scaled_eps(self, n_points: Optional[int] = None) -> List[float]:
+        """The paper's ε sweep rescaled for the (scaled) dataset size."""
+        factor = self.eps_scale_factor(n_points)
+        return [round(e * factor, 6) for e in self.paper_eps]
+
+
+def _syn(name: str, n_dims: int, paper_points: int, paper_eps: Tuple[float, ...],
+         figure: str, scaled: int) -> DatasetSpec:
+    """Registry helper for the uniform synthetic datasets."""
+    return DatasetSpec(
+        name=name, family="Syn", paper_points=paper_points, n_dims=n_dims,
+        paper_eps=paper_eps, figure=figure, default_scaled_points=scaled,
+        generator=lambda n, seed, d=n_dims: uniform_dataset(n, d, seed=seed),
+    )
+
+
+def _sw(name: str, n_dims: int, paper_points: int, paper_eps: Tuple[float, ...],
+        figure: str, scaled: int) -> DatasetSpec:
+    """Registry helper for the SW- (ionosphere) surrogates."""
+    return DatasetSpec(
+        name=name, family="SW", paper_points=paper_points, n_dims=n_dims,
+        paper_eps=paper_eps, figure=figure, default_scaled_points=scaled,
+        generator=lambda n, seed, d=n_dims: sw_dataset(n, n_dims=d, seed=seed),
+    )
+
+
+def _sdss(name: str, paper_points: int, paper_eps: Tuple[float, ...],
+          figure: str, scaled: int) -> DatasetSpec:
+    """Registry helper for the SDSS- (galaxy) surrogates."""
+    return DatasetSpec(
+        name=name, family="SDSS", paper_points=paper_points, n_dims=2,
+        paper_eps=paper_eps, figure=figure, default_scaled_points=scaled,
+        generator=lambda n, seed: sdss_dataset(n, seed=seed),
+    )
+
+
+#: The sixteen datasets of Table I, keyed by the paper's dataset name.
+DATASETS: Dict[str, DatasetSpec] = {
+    # Real-world (surrogates): SW- and SDSS-.
+    "SW2DA": _sw("SW2DA", 2, 1_864_620, (0.3, 0.6, 0.9, 1.2, 1.5), "4a", 4000),
+    "SW2DB": _sw("SW2DB", 2, 5_159_737, (0.1, 0.2, 0.3, 0.4, 0.5), "4b", 8000),
+    "SDSS2DA": _sdss("SDSS2DA", 2_000_000, (0.3, 0.6, 0.9, 1.2, 1.5), "4c", 4000),
+    "SDSS2DB": _sdss("SDSS2DB", 15_228_633, (0.02, 0.04, 0.06, 0.08, 0.10), "4d", 10000),
+    "SW3DA": _sw("SW3DA", 3, 1_864_620, (0.6, 1.2, 1.8, 2.4, 3.0), "4e", 4000),
+    "SW3DB": _sw("SW3DB", 3, 5_159_737, (0.2, 0.4, 0.6, 0.8, 1.0), "4f", 8000),
+    # Synthetic, 2 million points (Figure 5).
+    "Syn2D2M": _syn("Syn2D2M", 2, 2_000_000, (0.2, 0.4, 0.6, 0.8, 1.0), "5a", 4000),
+    "Syn3D2M": _syn("Syn3D2M", 3, 2_000_000, (0.2, 0.4, 0.6, 0.8, 1.0), "5b", 4000),
+    "Syn4D2M": _syn("Syn4D2M", 4, 2_000_000, (2.0, 4.0, 6.0, 8.0, 10.0), "5c", 4000),
+    "Syn5D2M": _syn("Syn5D2M", 5, 2_000_000, (2.0, 4.0, 6.0, 8.0, 10.0), "5d", 4000),
+    "Syn6D2M": _syn("Syn6D2M", 6, 2_000_000, (2.0, 4.0, 6.0, 8.0, 10.0), "5e", 4000),
+    # Synthetic, 10 million points (Figure 6).
+    "Syn2D10M": _syn("Syn2D10M", 2, 10_000_000, (0.1, 0.2, 0.3, 0.4, 0.5), "6a", 8000),
+    "Syn3D10M": _syn("Syn3D10M", 3, 10_000_000, (0.1, 0.2, 0.3, 0.4, 0.5), "6b", 8000),
+    "Syn4D10M": _syn("Syn4D10M", 4, 10_000_000, (1.0, 2.0, 3.0, 4.0, 5.0), "6c", 8000),
+    "Syn5D10M": _syn("Syn5D10M", 5, 10_000_000, (1.0, 2.0, 3.0, 4.0, 5.0), "6d", 8000),
+    "Syn6D10M": _syn("Syn6D10M", 6, 10_000_000, (1.0, 2.0, 3.0, 4.0, 5.0), "6e", 8000),
+}
+
+#: Dataset groups as used by the figures.
+REAL_WORLD_DATASETS = ("SW2DA", "SW2DB", "SDSS2DA", "SDSS2DB", "SW3DA", "SW3DB")
+SYN_2M_DATASETS = ("Syn2D2M", "Syn3D2M", "Syn4D2M", "Syn5D2M", "Syn6D2M")
+SYN_10M_DATASETS = ("Syn2D10M", "Syn3D10M", "Syn4D10M", "Syn5D10M", "Syn6D10M")
+
+
+def list_datasets(family: Optional[str] = None) -> List[str]:
+    """Names of the registered datasets, optionally filtered by family."""
+    if family is None:
+        return list(DATASETS)
+    return [name for name, spec in DATASETS.items() if spec.family == family]
+
+
+def load_dataset(name: str, n_points: Optional[int] = None, seed: int = 0) -> np.ndarray:
+    """Generate the named dataset at the requested (or default scaled) size."""
+    try:
+        spec = DATASETS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from exc
+    return spec.generate(n_points=n_points, seed=seed)

@@ -1,0 +1,54 @@
+"""Min-max normalization utilities (the Super-EGO [0,1] convention).
+
+The paper notes that Super-EGO normalizes all data into [0, 1] per dimension
+and that the datasets were modified accordingly while figures report the
+non-normalized ε.  These helpers perform that transformation and its inverse;
+note that *per-dimension* scaling distorts Euclidean distances unless the
+scale is uniform, which is why :class:`repro.baselines.superego.SuperEGO`
+uses a single uniform scale internally.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d_float64
+
+
+def normalize_minmax(points: np.ndarray, per_dimension: bool = True
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize points into the unit cube.
+
+    Parameters
+    ----------
+    points:
+        ``(n_points, n_dims)`` coordinates.
+    per_dimension:
+        When true each dimension is scaled by its own extent (the Super-EGO
+        convention, distance-distorting); when false a single uniform scale
+        (the maximum extent) is used, preserving Euclidean geometry.
+
+    Returns
+    -------
+    (normalized, offset, scale):
+        ``normalized = (points - offset) / scale`` with ``scale`` broadcast
+        per dimension.
+    """
+    pts = ensure_2d_float64(points)
+    offset = pts.min(axis=0)
+    extents = pts.max(axis=0) - offset
+    extents = np.where(extents <= 0.0, 1.0, extents)
+    if per_dimension:
+        scale = extents
+    else:
+        scale = np.full_like(extents, extents.max())
+    return (pts - offset) / scale, offset, scale
+
+
+def denormalize_minmax(normalized: np.ndarray, offset: np.ndarray,
+                       scale: np.ndarray) -> np.ndarray:
+    """Invert :func:`normalize_minmax`."""
+    norm = ensure_2d_float64(normalized)
+    return norm * np.asarray(scale, dtype=np.float64) + np.asarray(offset, dtype=np.float64)

@@ -1,0 +1,143 @@
+"""Synthetic dataset generators.
+
+The paper's synthetic datasets (Syn-) are uniformly distributed and
+independent in each dimension, with coordinates drawn from [0, 100]
+(Section VI-A).  Uniform data maximizes the number of non-empty grid cells
+and therefore represents the *worst case* for the GPU-SJ grid index.  The
+additional generators (Gaussian clusters, exponential, Thomas process) model
+skewed distributions used for ablations and as building blocks of the
+real-world surrogates in :mod:`repro.data.realworld`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Coordinate range of the paper's synthetic datasets.
+SYNTHETIC_RANGE = (0.0, 100.0)
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    """Create a generator (fresh entropy when ``seed`` is None)."""
+    return np.random.default_rng(seed)
+
+
+def uniform_dataset(n_points: int, n_dims: int, seed: Optional[int] = 0,
+                    low: float = SYNTHETIC_RANGE[0],
+                    high: float = SYNTHETIC_RANGE[1]) -> np.ndarray:
+    """Uniform i.i.d. points in ``[low, high]^n`` — the paper's Syn- datasets.
+
+    Parameters
+    ----------
+    n_points, n_dims:
+        Dataset size and dimensionality (the paper uses 2–6 dimensions with
+        2 and 10 million points).
+    seed:
+        RNG seed for reproducibility.
+    low, high:
+        Coordinate range (paper: [0, 100]).
+    """
+    if n_points < 1 or n_dims < 1:
+        raise ValueError("n_points and n_dims must be positive")
+    if high <= low:
+        raise ValueError("high must exceed low")
+    return _rng(seed).uniform(low, high, size=(n_points, n_dims)).astype(np.float64)
+
+
+def gaussian_clusters(n_points: int, n_dims: int, n_clusters: int = 16,
+                      cluster_std: float = 2.0, seed: Optional[int] = 0,
+                      low: float = SYNTHETIC_RANGE[0],
+                      high: float = SYNTHETIC_RANGE[1]) -> np.ndarray:
+    """Mixture of isotropic Gaussian clusters (skewed density).
+
+    Cluster centers are uniform in the data range; points are assigned to
+    clusters with uniform probability.  Produces the over-dense regions the
+    paper argues favour the grid index relative to uniform data.
+    """
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    rng = _rng(seed)
+    centers = rng.uniform(low, high, size=(n_clusters, n_dims))
+    assignment = rng.integers(0, n_clusters, size=n_points)
+    pts = centers[assignment] + rng.normal(0.0, cluster_std, size=(n_points, n_dims))
+    return np.clip(pts, low, high).astype(np.float64)
+
+
+def exponential_dataset(n_points: int, n_dims: int, scale: float = 10.0,
+                        seed: Optional[int] = 0) -> np.ndarray:
+    """Exponentially distributed coordinates (monotonically decaying density)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return _rng(seed).exponential(scale, size=(n_points, n_dims)).astype(np.float64)
+
+
+def thomas_process(n_points: int, n_dims: int = 2, parent_intensity: float = 40.0,
+                   cluster_std: float = 0.6, seed: Optional[int] = 0,
+                   low: float = SYNTHETIC_RANGE[0],
+                   high: float = SYNTHETIC_RANGE[1],
+                   background_fraction: float = 0.1) -> np.ndarray:
+    """Neyman–Scott (Thomas) cluster process.
+
+    Parent centers follow a Poisson process over the window; offspring are
+    normally distributed around their parents.  This is the standard
+    synthetic stand-in for hierarchically clustered astronomical catalogs
+    and is used by the SDSS surrogate.
+
+    Parameters
+    ----------
+    n_points:
+        Total number of points generated (offspring plus background).
+    parent_intensity:
+        Expected number of parent centers.
+    cluster_std:
+        Standard deviation of the offspring displacement.
+    background_fraction:
+        Fraction of points drawn uniformly over the window (field galaxies).
+    """
+    if not (0.0 <= background_fraction <= 1.0):
+        raise ValueError("background_fraction must be in [0, 1]")
+    rng = _rng(seed)
+    n_background = int(round(n_points * background_fraction))
+    n_clustered = n_points - n_background
+    n_parents = max(1, rng.poisson(parent_intensity))
+    parents = rng.uniform(low, high, size=(n_parents, n_dims))
+    assignment = rng.integers(0, n_parents, size=n_clustered)
+    offspring = parents[assignment] + rng.normal(0.0, cluster_std, size=(n_clustered, n_dims))
+    background = rng.uniform(low, high, size=(n_background, n_dims))
+    pts = np.vstack([offspring, background]) if n_background else offspring
+    pts = np.clip(pts, low, high)
+    rng.shuffle(pts, axis=0)
+    return pts.astype(np.float64)
+
+
+def expected_average_neighbors(n_points: int, n_dims: int, eps: float,
+                               low: float = SYNTHETIC_RANGE[0],
+                               high: float = SYNTHETIC_RANGE[1]) -> float:
+    """Expected ε-neighbors per point for uniform data (excluding the point).
+
+    The expectation is the dataset density times the volume of the
+    n-dimensional ε-ball; used by the experiment harness to pick scaled ε
+    values whose neighbor counts track the paper's figures.
+    """
+    from math import gamma, pi
+
+    volume_window = (high - low) ** n_dims
+    volume_ball = pi ** (n_dims / 2.0) / gamma(n_dims / 2.0 + 1.0) * eps ** n_dims
+    density = (n_points - 1) / volume_window
+    return density * volume_ball
+
+
+def eps_for_average_neighbors(target_neighbors: float, n_points: int, n_dims: int,
+                              low: float = SYNTHETIC_RANGE[0],
+                              high: float = SYNTHETIC_RANGE[1]) -> float:
+    """Invert :func:`expected_average_neighbors`: ε that yields the target count."""
+    from math import gamma, pi
+
+    if target_neighbors <= 0:
+        raise ValueError("target_neighbors must be positive")
+    volume_window = (high - low) ** n_dims
+    density = (n_points - 1) / volume_window
+    unit_ball = pi ** (n_dims / 2.0) / gamma(n_dims / 2.0 + 1.0)
+    return float((target_neighbors / (density * unit_ball)) ** (1.0 / n_dims))

@@ -1,0 +1,29 @@
+"""Benchmark harness: one module per table/figure of the paper's evaluation.
+
+Every experiment module exposes a ``run_*`` function returning plain records
+(dataset, ε, algorithm, response time, …) plus a ``format_*`` helper that
+renders the same rows/series the paper reports.  The pytest-benchmark targets
+under ``benchmarks/`` call these functions with scaled-down default sizes;
+EXPERIMENTS.md records the scaled configuration used and compares the
+measured shapes against the paper's headline numbers.
+"""
+
+from repro.experiments.runner import (
+    ALGORITHMS,
+    ExperimentResult,
+    TimingRecord,
+    run_algorithm,
+    run_response_time_experiment,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "ALGORITHMS",
+    "ExperimentResult",
+    "TimingRecord",
+    "run_algorithm",
+    "run_response_time_experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment-id>``.
+
+Examples
+--------
+Run the Table II reproduction at the default scale::
+
+    python -m repro.experiments table2
+
+Run the Figure 5 sweep on 2000-point datasets with the GPU algorithms only::
+
+    python -m repro.experiments fig5 --points 2000 \
+        --algorithms "GPU" "GPU: unicomp"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures (scaled).")
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="experiment id (or 'all')")
+    parser.add_argument("--points", type=int, default=None,
+                        help="override the scaled dataset size")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="timed repetitions per measurement")
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="restrict to these dataset names")
+    parser.add_argument("--algorithms", nargs="*", default=None,
+                        help="restrict to these algorithm labels")
+    return parser
+
+
+def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate CLI options into the experiment's keyword arguments."""
+    kwargs: Dict[str, Any] = {}
+    if experiment_id == "fig1":
+        if args.points is not None:
+            kwargs["n_points"] = args.points
+        if args.seed:
+            kwargs["seed"] = args.seed
+        return kwargs
+    if experiment_id == "table1":
+        if args.points is not None:
+            kwargs["n_points"] = args.points
+        return kwargs
+    if experiment_id == "table2":
+        if args.points is not None:
+            kwargs["n_points"] = args.points
+        if args.seed:
+            kwargs["seed"] = args.seed
+        return kwargs
+    # Figure 4-9 experiments share the response-time signature.
+    if args.points is not None:
+        kwargs["n_points"] = args.points
+    if args.trials != 1:
+        kwargs["trials"] = args.trials
+    if args.seed:
+        kwargs["seed"] = args.seed
+    if args.datasets:
+        kwargs["datasets"] = args.datasets
+    if args.algorithms and experiment_id in ("fig4", "fig5", "fig6"):
+        kwargs["algorithms"] = args.algorithms
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        print(f"== {experiment_id}: {experiment.description}")
+        print(experiment.run_and_render(**_kwargs_for(experiment_id, args)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

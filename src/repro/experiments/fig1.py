@@ -1,0 +1,97 @@
+"""Figure 1: the motivating R-tree experiment.
+
+Panel (a) sweeps the dimensionality (2–6) of a uniform dataset at a fixed ε
+and reports the R-tree self-join response time together with the average
+number of ε-neighbors per point: the response time is worst at 2-D (huge
+result sets) and 6-D (exhaustive index searches), the "two computational
+problems" the paper opens with.  Panel (b) fixes the 6-D dataset and sweeps ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.baselines.rtree_selfjoin import build_rtree, rtree_selfjoin
+from repro.data.synthetic import uniform_dataset
+from repro.experiments.report import format_table
+from repro.utils.timing import Timer
+
+#: Paper configuration of Figure 1a: 2 million points, ε = 1, dims 2–6.
+PAPER_POINTS = 2_000_000
+PAPER_EPS_1A = 1.0
+#: Paper configuration of Figure 1b: the 6-D dataset, ε ∈ {4, 6, 8, 10, 12}.
+PAPER_EPS_1B = (4.0, 6.0, 8.0, 10.0, 12.0)
+
+
+@dataclass
+class Fig1Row:
+    """One measured point of Figure 1 (either panel)."""
+
+    dimension: int
+    eps: float
+    time_s: float
+    avg_neighbors: float
+    n_points: int
+
+
+def _scaled_eps(paper_eps: float, n_points: int, n_dims: int) -> float:
+    """Density-preserving ε rescaling (see repro.data.datasets)."""
+    return float(paper_eps * (PAPER_POINTS / n_points) ** (1.0 / n_dims))
+
+
+def run_fig1a(n_points: int = 3000, dimensions: Sequence[int] = (2, 3, 4, 5, 6),
+              seed: int = 0, rescale_eps: bool = True) -> List[Fig1Row]:
+    """R-tree self-join time and average neighbors vs dimensionality.
+
+    Parameters
+    ----------
+    n_points:
+        Scaled dataset size (paper: 2 million).
+    dimensions:
+        Dimensionalities to sweep (paper: 2–6).
+    rescale_eps:
+        Rescale ε = 1 by the density rule so the neighbor counts track the
+        paper's; set ``False`` to use ε = 1 literally.
+    """
+    rows: List[Fig1Row] = []
+    for dim in dimensions:
+        points = uniform_dataset(n_points, dim, seed=seed)
+        eps = _scaled_eps(PAPER_EPS_1A, n_points, dim) if rescale_eps else PAPER_EPS_1A
+        tree = build_rtree(points)
+        with Timer() as t:
+            out = rtree_selfjoin(points, eps, tree=tree)
+        avg_neighbors = out.result.num_pairs / n_points - 1.0
+        rows.append(Fig1Row(dimension=dim, eps=eps, time_s=t.elapsed,
+                            avg_neighbors=avg_neighbors, n_points=n_points))
+    return rows
+
+
+def run_fig1b(n_points: int = 3000, dimension: int = 6,
+              paper_eps: Sequence[float] = PAPER_EPS_1B, seed: int = 0,
+              rescale_eps: bool = True) -> List[Fig1Row]:
+    """R-tree self-join time and average neighbors vs ε on the 6-D dataset."""
+    rows: List[Fig1Row] = []
+    points = uniform_dataset(n_points, dimension, seed=seed)
+    tree = build_rtree(points)
+    for eps_paper in paper_eps:
+        eps = _scaled_eps(eps_paper, n_points, dimension) if rescale_eps else float(eps_paper)
+        with Timer() as t:
+            out = rtree_selfjoin(points, eps, tree=tree)
+        avg_neighbors = out.result.num_pairs / n_points - 1.0
+        rows.append(Fig1Row(dimension=dimension, eps=eps, time_s=t.elapsed,
+                            avg_neighbors=avg_neighbors, n_points=n_points))
+    return rows
+
+
+def format_fig1(rows_a: Sequence[Fig1Row], rows_b: Sequence[Fig1Row]) -> str:
+    """Render both panels as text tables."""
+    table_a = format_table(
+        ("dimension", "eps", "time_s", "avg_neighbors"),
+        [(r.dimension, r.eps, r.time_s, r.avg_neighbors) for r in rows_a],
+        title="Figure 1a: R-tree self-join vs dimensionality (scaled)")
+    table_b = format_table(
+        ("dimension", "eps", "time_s", "avg_neighbors"),
+        [(r.dimension, r.eps, r.time_s, r.avg_neighbors) for r in rows_b],
+        title="Figure 1b: R-tree self-join vs eps, 6-D dataset (scaled)")
+    return table_a + "\n\n" + table_b

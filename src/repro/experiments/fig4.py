@@ -1,0 +1,46 @@
+"""Figure 4: response time vs ε on the real-world datasets (SW-, SDSS-).
+
+Six panels (SW2DA, SW2DB, SDSS2DA, SDSS2DB, SW3DA, SW3DB), each plotting the
+five algorithms' response times over the dataset's ε sweep.  The reproduction
+runs on the scaled-down surrogate datasets; the expected *shape* is that
+GPU-SJ (with and without UNICOMP) is fastest, SUPEREGO next, CPU-RTREE
+slowest among the indexed approaches, with the ε-independent brute force
+crossing the R-tree curve only at large ε on the densest configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.data.datasets import REAL_WORLD_DATASETS
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    ExperimentResult,
+    run_response_time_experiment,
+)
+
+
+def run_fig4(n_points: Optional[int] = None,
+             datasets: Sequence[str] = REAL_WORLD_DATASETS,
+             algorithms: Sequence[str] = ALGORITHMS,
+             eps_values: Optional[Dict[str, Sequence[float]]] = None,
+             trials: int = 1, seed: int = 0) -> ExperimentResult:
+    """Run the Figure 4 measurement matrix on the real-world surrogates."""
+    return run_response_time_experiment(datasets, algorithms=algorithms,
+                                        n_points=n_points, eps_values=eps_values,
+                                        trials=trials, seed=seed)
+
+
+def format_fig4(result: ExperimentResult) -> str:
+    """Render the per-panel series followed by the full row table."""
+    lines = ["Figure 4: response time vs eps, real-world datasets (scaled surrogates)"]
+    for dataset in result.datasets():
+        for algorithm in result.algorithms():
+            xs, ys = result.series(dataset, algorithm)
+            if xs:
+                lines.append(format_series(f"{dataset} / {algorithm}", xs, ys))
+    lines.append("")
+    lines.append(format_table(("dataset", "eps", "algorithm", "time_s", "pairs"),
+                              result.to_rows()))
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Figure 5: response time vs ε on the 2–6-D synthetic datasets (2M scale).
+
+Five panels (Syn2D2M … Syn6D2M).  Uniform data is the worst case for the
+grid index (every cell non-empty), yet the expected shape is unchanged:
+GPU-SJ with UNICOMP fastest, then GPU-SJ, SUPEREGO, CPU-RTREE; the UNICOMP
+benefit grows with dimensionality (see Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.data.datasets import SYN_2M_DATASETS
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    ExperimentResult,
+    run_response_time_experiment,
+)
+
+
+def run_fig5(n_points: Optional[int] = None,
+             datasets: Sequence[str] = SYN_2M_DATASETS,
+             algorithms: Sequence[str] = ALGORITHMS,
+             eps_values: Optional[Dict[str, Sequence[float]]] = None,
+             trials: int = 1, seed: int = 0) -> ExperimentResult:
+    """Run the Figure 5 measurement matrix on the 2M-scale synthetic datasets."""
+    return run_response_time_experiment(datasets, algorithms=algorithms,
+                                        n_points=n_points, eps_values=eps_values,
+                                        trials=trials, seed=seed)
+
+
+def format_fig5(result: ExperimentResult) -> str:
+    """Render the per-panel series followed by the full row table."""
+    lines = ["Figure 5: response time vs eps, synthetic 2M-scale datasets (scaled)"]
+    for dataset in result.datasets():
+        for algorithm in result.algorithms():
+            xs, ys = result.series(dataset, algorithm)
+            if xs:
+                lines.append(format_series(f"{dataset} / {algorithm}", xs, ys))
+    lines.append("")
+    lines.append(format_table(("dataset", "eps", "algorithm", "time_s", "pairs"),
+                              result.to_rows()))
+    return "\n".join(lines)

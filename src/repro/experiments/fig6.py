@@ -1,0 +1,43 @@
+"""Figure 6: response time vs ε on the 2–6-D synthetic datasets (10M scale).
+
+Same structure as Figure 5 at five times the dataset size (the reproduction
+scales both down proportionally, keeping the 5× ratio between the Figure 5
+and Figure 6 configurations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.data.datasets import SYN_10M_DATASETS
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    ExperimentResult,
+    run_response_time_experiment,
+)
+
+
+def run_fig6(n_points: Optional[int] = None,
+             datasets: Sequence[str] = SYN_10M_DATASETS,
+             algorithms: Sequence[str] = ALGORITHMS,
+             eps_values: Optional[Dict[str, Sequence[float]]] = None,
+             trials: int = 1, seed: int = 0) -> ExperimentResult:
+    """Run the Figure 6 measurement matrix on the 10M-scale synthetic datasets."""
+    return run_response_time_experiment(datasets, algorithms=algorithms,
+                                        n_points=n_points, eps_values=eps_values,
+                                        trials=trials, seed=seed)
+
+
+def format_fig6(result: ExperimentResult) -> str:
+    """Render the per-panel series followed by the full row table."""
+    lines = ["Figure 6: response time vs eps, synthetic 10M-scale datasets (scaled)"]
+    for dataset in result.datasets():
+        for algorithm in result.algorithms():
+            xs, ys = result.series(dataset, algorithm)
+            if xs:
+                lines.append(format_series(f"{dataset} / {algorithm}", xs, ys))
+    lines.append("")
+    lines.append(format_table(("dataset", "eps", "algorithm", "time_s", "pairs"),
+                              result.to_rows()))
+    return "\n".join(lines)

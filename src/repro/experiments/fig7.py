@@ -1,0 +1,83 @@
+"""Figure 7: speedup of GPU-SJ + UNICOMP over CPU-RTREE.
+
+The paper derives this figure from Figures 4–6: for every (dataset, ε)
+measurement the ratio of the CPU-RTREE time to the GPU-SJ (UNICOMP) time is
+plotted, with an average speedup of 26.9× across all datasets and the largest
+gains (up to 125×) on the higher-dimensional synthetic datasets.
+
+The reproduction can either re-use an :class:`ExperimentResult` that already
+contains both algorithms (``speedups_from_result``) or run a dedicated
+reduced sweep (``run_fig7``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.speedup import average_speedup, pairwise_speedups
+from repro.data.datasets import DATASETS
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult, run_response_time_experiment
+
+#: The two algorithms this figure compares.
+BASELINE = "R-Tree"
+CANDIDATE = "GPU: unicomp"
+
+
+@dataclass
+class SpeedupSummary:
+    """Per-point speedups plus the figure's headline averages."""
+
+    speedups: Dict[Tuple[str, float], float]
+    average: float
+    per_dataset_average: Dict[str, float]
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(dataset, eps, speedup) rows sorted by dataset then eps."""
+        return [(ds, eps, s) for (ds, eps), s in sorted(self.speedups.items())]
+
+
+def speedups_from_result(result: ExperimentResult,
+                         baseline: str = BASELINE,
+                         candidate: str = CANDIDATE) -> SpeedupSummary:
+    """Derive the Figure 7 (or Figure 8) speedups from measured records."""
+    base_map = result.time_map(baseline)
+    cand_map = result.time_map(candidate)
+    speedups = pairwise_speedups(base_map, cand_map)
+    if not speedups:
+        raise ValueError(
+            f"result contains no overlapping measurements for {baseline!r} "
+            f"and {candidate!r}")
+    per_dataset: Dict[str, List[float]] = {}
+    for (dataset, _eps), value in speedups.items():
+        per_dataset.setdefault(dataset, []).append(value)
+    per_dataset_average = {ds: average_speedup(vals) for ds, vals in per_dataset.items()}
+    return SpeedupSummary(speedups=speedups,
+                          average=average_speedup(speedups.values()),
+                          per_dataset_average=per_dataset_average)
+
+
+def run_fig7(n_points: Optional[int] = None,
+             datasets: Optional[Sequence[str]] = None,
+             trials: int = 1, seed: int = 0) -> SpeedupSummary:
+    """Run CPU-RTREE and GPU-SJ+UNICOMP on the chosen datasets and summarize.
+
+    ``datasets`` defaults to the full Table I registry (all sixteen datasets),
+    matching the paper; pass a subset for a quicker sweep.
+    """
+    names = list(datasets) if datasets is not None else list(DATASETS)
+    result = run_response_time_experiment(names, algorithms=(BASELINE, CANDIDATE),
+                                          n_points=n_points, trials=trials, seed=seed)
+    return speedups_from_result(result)
+
+
+def format_fig7(summary: SpeedupSummary) -> str:
+    """Render the speedup table and the headline average."""
+    table = format_table(("dataset", "eps", "speedup_vs_rtree"), summary.rows(),
+                         title="Figure 7: speedup of GPU-SJ (UNICOMP) over CPU-RTREE")
+    per_ds = format_table(("dataset", "avg_speedup"),
+                          sorted(summary.per_dataset_average.items()),
+                          title="Per-dataset averages")
+    return (f"{table}\n\n{per_ds}\n\nAverage speedup (all measurements): "
+            f"{summary.average:.2f}x  [paper: 26.9x]")

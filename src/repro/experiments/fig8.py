@@ -1,0 +1,64 @@
+"""Figure 8: speedup of GPU-SJ + UNICOMP over SUPEREGO (32 threads).
+
+Derived from the same measurements as Figures 4–6.  The paper reports an
+average speedup of 2.38× across all datasets and about 2× on the real-world
+datasets, with only six (dataset, ε) points where SUPEREGO wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.speedup import average_speedup
+from repro.data.datasets import DATASETS, REAL_WORLD_DATASETS
+from repro.experiments.fig7 import SpeedupSummary, speedups_from_result
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult, run_response_time_experiment
+
+BASELINE = "SuperEGO"
+CANDIDATE = "GPU: unicomp"
+
+
+def speedups_vs_superego(result: ExperimentResult) -> SpeedupSummary:
+    """Derive the Figure 8 speedups from measured records."""
+    return speedups_from_result(result, baseline=BASELINE, candidate=CANDIDATE)
+
+
+def run_fig8(n_points: Optional[int] = None,
+             datasets: Optional[Sequence[str]] = None,
+             trials: int = 1, seed: int = 0,
+             n_threads: Optional[int] = None) -> SpeedupSummary:
+    """Run SUPEREGO and GPU-SJ+UNICOMP on the chosen datasets and summarize."""
+    names = list(datasets) if datasets is not None else list(DATASETS)
+    result = run_response_time_experiment(names, algorithms=(BASELINE, CANDIDATE),
+                                          n_points=n_points, trials=trials,
+                                          seed=seed, n_threads=n_threads)
+    return speedups_vs_superego(result)
+
+
+def real_world_average(summary: SpeedupSummary) -> Optional[float]:
+    """Average speedup restricted to the real-world datasets (paper: ~2x)."""
+    values: List[float] = [v for (ds, _eps), v in summary.speedups.items()
+                           if ds in REAL_WORLD_DATASETS]
+    if not values:
+        return None
+    return average_speedup(values)
+
+
+def slower_points(summary: SpeedupSummary) -> Dict[Tuple[str, float], float]:
+    """The (dataset, eps) points where SUPEREGO beats GPU-SJ (speedup < 1)."""
+    return {key: value for key, value in summary.speedups.items() if value < 1.0}
+
+
+def format_fig8(summary: SpeedupSummary) -> str:
+    """Render the speedup table plus the paper's headline statistics."""
+    table = format_table(("dataset", "eps", "speedup_vs_superego"), summary.rows(),
+                         title="Figure 8: speedup of GPU-SJ (UNICOMP) over SUPEREGO")
+    real_avg = real_world_average(summary)
+    slower = slower_points(summary)
+    lines = [table, "",
+             f"Average speedup (all measurements): {summary.average:.2f}x  [paper: 2.38x]"]
+    if real_avg is not None:
+        lines.append(f"Average speedup (real-world datasets): {real_avg:.2f}x  [paper: ~2x]")
+    lines.append(f"Measurements where SUPEREGO wins: {len(slower)}  [paper: 6]")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Figure 9: impact of UNICOMP — ratio of GPU response times without / with it.
+
+Three panels group the datasets (real-world, synthetic 2M, synthetic 10M).
+A ratio above 1 means UNICOMP helps; the paper finds ratios within 1.5× on
+the real-world (2–3-D) datasets and ratios that can exceed 2× on the ≥ 3-D
+synthetic datasets, which Table II attributes to improved cache utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.datasets import (
+    DATASETS,
+    REAL_WORLD_DATASETS,
+    SYN_10M_DATASETS,
+    SYN_2M_DATASETS,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult, run_response_time_experiment
+
+WITHOUT = "GPU"
+WITH = "GPU: unicomp"
+
+#: Figure panels: label -> dataset group.
+PANELS: Dict[str, Tuple[str, ...]] = {
+    "a (real-world)": REAL_WORLD_DATASETS,
+    "b (Syn 2M)": SYN_2M_DATASETS,
+    "c (Syn 10M)": SYN_10M_DATASETS,
+}
+
+
+@dataclass
+class UnicompRatioSummary:
+    """Per-measurement UNICOMP ratios."""
+
+    ratios: Dict[Tuple[str, float], float]
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(dataset, eps, ratio) rows sorted by dataset then eps."""
+        return [(ds, eps, r) for (ds, eps), r in sorted(self.ratios.items())]
+
+    def panel(self, datasets: Sequence[str]) -> Dict[Tuple[str, float], float]:
+        """Subset of the ratios belonging to one figure panel."""
+        keep = set(datasets)
+        return {k: v for k, v in self.ratios.items() if k[0] in keep}
+
+    def max_ratio(self) -> float:
+        """Largest observed ratio (paper: > 2 on 5–6-D synthetic data)."""
+        return max(self.ratios.values()) if self.ratios else 0.0
+
+    def min_ratio(self) -> float:
+        """Smallest observed ratio (paper: slight slowdowns possible, ~1)."""
+        return min(self.ratios.values()) if self.ratios else 0.0
+
+
+def ratios_from_result(result: ExperimentResult) -> UnicompRatioSummary:
+    """Compute time(GPU without UNICOMP) / time(GPU with UNICOMP) per point."""
+    without = result.time_map(WITHOUT)
+    with_ = result.time_map(WITH)
+    common = set(without) & set(with_)
+    if not common:
+        raise ValueError("result must contain both 'GPU' and 'GPU: unicomp' records")
+    ratios = {key: without[key] / with_[key] for key in sorted(common)}
+    return UnicompRatioSummary(ratios=ratios)
+
+
+def run_fig9(n_points: Optional[int] = None,
+             datasets: Optional[Sequence[str]] = None,
+             trials: int = 1, seed: int = 0) -> UnicompRatioSummary:
+    """Run both GPU-SJ variants and compute the UNICOMP ratio per measurement."""
+    names = list(datasets) if datasets is not None else list(DATASETS)
+    result = run_response_time_experiment(names, algorithms=(WITHOUT, WITH),
+                                          n_points=n_points, trials=trials, seed=seed)
+    return ratios_from_result(result)
+
+
+def format_fig9(summary: UnicompRatioSummary) -> str:
+    """Render the three panels of the figure as text tables."""
+    blocks: List[str] = []
+    for label, group in PANELS.items():
+        panel = summary.panel(group)
+        if not panel:
+            continue
+        rows = [(ds, eps, ratio) for (ds, eps), ratio in sorted(panel.items())]
+        blocks.append(format_table(("dataset", "eps", "ratio_without_over_with"), rows,
+                                   title=f"Figure 9{label}: UNICOMP response-time ratio"))
+    blocks.append(f"max ratio: {summary.max_ratio():.2f}  min ratio: {summary.min_ratio():.2f}")
+    return "\n\n".join(blocks)

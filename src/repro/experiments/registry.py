@@ -1,0 +1,75 @@
+"""Experiment registry: one entry per table/figure of the evaluation section.
+
+The registry powers the ``python -m repro.experiments`` command line and the
+pytest-benchmark targets; each entry couples the ``run_*`` function with the
+matching ``format_*`` renderer and a short description referencing DESIGN.md's
+per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.experiments import fig1, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable experiment regenerating one paper table/figure."""
+
+    experiment_id: str
+    description: str
+    run: Callable[..., Any]
+    render: Callable[[Any], str]
+
+    def run_and_render(self, **kwargs: Any) -> str:
+        """Run the experiment and return its text rendering."""
+        return self.render(self.run(**kwargs))
+
+
+def _fig1_run(**kwargs: Any):
+    """Run both panels of Figure 1."""
+    return fig1.run_fig1a(**kwargs), fig1.run_fig1b(**kwargs)
+
+
+def _fig1_render(result) -> str:
+    rows_a, rows_b = result
+    return fig1.format_fig1(rows_a, rows_b)
+
+
+#: All experiments keyed by their identifier.
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig1": Experiment("fig1", "R-tree motivation: time & avg neighbors vs dimension / eps",
+                       _fig1_run, _fig1_render),
+    "fig4": Experiment("fig4", "Response time vs eps on the real-world surrogates",
+                       fig4.run_fig4, fig4.format_fig4),
+    "fig5": Experiment("fig5", "Response time vs eps on the synthetic 2M-scale datasets",
+                       fig5.run_fig5, fig5.format_fig5),
+    "fig6": Experiment("fig6", "Response time vs eps on the synthetic 10M-scale datasets",
+                       fig6.run_fig6, fig6.format_fig6),
+    "fig7": Experiment("fig7", "Speedup of GPU-SJ (UNICOMP) over CPU-RTREE",
+                       fig7.run_fig7, fig7.format_fig7),
+    "fig8": Experiment("fig8", "Speedup of GPU-SJ (UNICOMP) over SUPEREGO",
+                       fig8.run_fig8, fig8.format_fig8),
+    "fig9": Experiment("fig9", "UNICOMP response-time ratio (without / with)",
+                       fig9.run_fig9, fig9.format_fig9),
+    "table1": Experiment("table1", "Dataset summary (Table I)",
+                         table1.run_table1, table1.format_table1),
+    "table2": Experiment("table2", "Kernel metrics with/without UNICOMP (Table II)",
+                         table2.run_table2, table2.format_table2),
+}
+
+
+def list_experiments() -> List[str]:
+    """Identifiers of all registered experiments."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (raises KeyError with the known ids)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {sorted(EXPERIMENTS)}") from exc

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper presents its evaluation as figures (response time vs ε) and two
+tables; since this reproduction is terminal-oriented, every experiment is
+rendered as an aligned text table whose rows/series correspond one-to-one to
+the points of the original figure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; cells are converted with :func:`format_cell`.
+    title:
+        Optional title line printed above the table.
+    """
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(str_headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cell(value: object) -> str:
+    """Format one table cell (floats with 4 significant decimals)."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "eps", y_label: str = "time_s") -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    pairs = ", ".join(f"({format_cell(float(x))}, {format_cell(float(y))})"
+                      for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"

@@ -1,0 +1,205 @@
+"""Algorithm dispatch and timed trials for the evaluation experiments.
+
+The five algorithm labels match the legends of Figures 4–6:
+
+* ``"R-Tree"`` — the sequential CPU search-and-refine baseline (index
+  construction excluded from the timing, as in the paper),
+* ``"SuperEGO"`` — the multi-threaded Super-EGO join (ego-sort + join timed),
+* ``"GPU"`` — GPU-SJ without UNICOMP,
+* ``"GPU: unicomp"`` — GPU-SJ with UNICOMP (the paper's headline
+  configuration),
+* ``"GPU: Brute Force"`` — the ε-independent all-pairs reference
+  (result set not materialized, mirroring the single-kernel methodology).
+
+Each measurement is repeated ``trials`` times (the paper uses 3) and the
+mean response time is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import mean_and_std
+from repro.baselines.bruteforce import bruteforce_count
+from repro.baselines.rtree_selfjoin import build_rtree, rtree_selfjoin
+from repro.baselines.superego import SuperEGO
+from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig
+from repro.data.datasets import DATASETS, DatasetSpec
+from repro.utils.timing import Timer
+
+#: Algorithm labels in the order the figures list them.
+ALGORITHMS = ("GPU: Brute Force", "R-Tree", "SuperEGO", "GPU", "GPU: unicomp")
+
+#: Algorithms whose response time does not depend on ε (run once per dataset).
+EPS_INDEPENDENT = ("GPU: Brute Force",)
+
+
+@dataclass
+class TimingRecord:
+    """One measured point of a response-time figure."""
+
+    dataset: str
+    eps: float
+    algorithm: str
+    time_s: float
+    time_std: float = 0.0
+    num_pairs: int = 0
+    n_points: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def key(self) -> Tuple[str, float]:
+        """(dataset, eps) key used to align series across algorithms."""
+        return (self.dataset, self.eps)
+
+
+@dataclass
+class ExperimentResult:
+    """A bag of timing records with alignment helpers."""
+
+    records: List[TimingRecord] = field(default_factory=list)
+
+    def add(self, record: TimingRecord) -> None:
+        """Append a record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TimingRecord]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    def algorithms(self) -> List[str]:
+        """Distinct algorithm labels present, in first-seen order."""
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.algorithm not in seen:
+                seen.append(rec.algorithm)
+        return seen
+
+    def datasets(self) -> List[str]:
+        """Distinct dataset names present, in first-seen order."""
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.dataset not in seen:
+                seen.append(rec.dataset)
+        return seen
+
+    def time_map(self, algorithm: str) -> Dict[Tuple[str, float], float]:
+        """Map (dataset, eps) -> time for one algorithm."""
+        return {rec.key(): rec.time_s for rec in self.records
+                if rec.algorithm == algorithm}
+
+    def series(self, dataset: str, algorithm: str) -> Tuple[List[float], List[float]]:
+        """(eps values, times) series of one dataset/algorithm combination."""
+        recs = [rec for rec in self.records
+                if rec.dataset == dataset and rec.algorithm == algorithm]
+        recs.sort(key=lambda r: r.eps)
+        return [r.eps for r in recs], [r.time_s for r in recs]
+
+    def to_rows(self) -> List[Tuple[str, float, str, float, int]]:
+        """Rows for :func:`repro.experiments.report.format_table`."""
+        return [(r.dataset, r.eps, r.algorithm, r.time_s, r.num_pairs)
+                for r in self.records]
+
+
+# --------------------------------------------------------------------------
+# single-algorithm timing
+# --------------------------------------------------------------------------
+def run_algorithm(algorithm: str, points: np.ndarray, eps: float,
+                  trials: int = 1, n_threads: Optional[int] = None,
+                  rtree_max_entries: int = 16) -> Tuple[float, float, int]:
+    """Time one algorithm on one (dataset, ε) configuration.
+
+    Returns ``(mean_time_s, std_time_s, num_pairs)``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    times: List[float] = []
+    num_pairs = 0
+
+    if algorithm == "R-Tree":
+        tree = build_rtree(points, max_entries=rtree_max_entries)
+        for _ in range(trials):
+            with Timer() as t:
+                out = rtree_selfjoin(points, eps, tree=tree)
+            times.append(t.elapsed)
+            num_pairs = out.result.num_pairs
+    elif algorithm == "SuperEGO":
+        joiner = SuperEGO(n_threads=n_threads)
+        for _ in range(trials):
+            with Timer() as t:
+                out = joiner.join(points, eps)
+            times.append(t.elapsed)
+            num_pairs = out.result.num_pairs
+    elif algorithm in ("GPU", "GPU: unicomp"):
+        config = SelfJoinConfig(unicomp=(algorithm == "GPU: unicomp"))
+        joiner = GPUSelfJoin(config)
+        for _ in range(trials):
+            with Timer() as t:
+                result = joiner.join(points, eps)
+            times.append(t.elapsed)
+            num_pairs = result.num_pairs
+    elif algorithm == "GPU: Brute Force":
+        for _ in range(trials):
+            with Timer() as t:
+                out = bruteforce_count(points, eps)
+            times.append(t.elapsed)
+            num_pairs = out.num_pairs
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+
+    mean, std = mean_and_std(times)
+    return mean, std, num_pairs
+
+
+# --------------------------------------------------------------------------
+# response-time experiments (Figures 4, 5, 6)
+# --------------------------------------------------------------------------
+def run_response_time_experiment(dataset_names: Sequence[str],
+                                 algorithms: Sequence[str] = ALGORITHMS,
+                                 n_points: Optional[int] = None,
+                                 eps_values: Optional[Dict[str, Sequence[float]]] = None,
+                                 trials: int = 1, seed: int = 0,
+                                 n_threads: Optional[int] = None,
+                                 ) -> ExperimentResult:
+    """Measure response time vs ε for several datasets and algorithms.
+
+    Parameters
+    ----------
+    dataset_names:
+        Names from :data:`repro.data.datasets.DATASETS`.
+    algorithms:
+        Algorithm labels (subset of :data:`ALGORITHMS`).
+    n_points:
+        Scaled dataset size; each dataset's registry default when omitted.
+    eps_values:
+        Optional per-dataset ε overrides; the registry's density-rescaled ε
+        sweep when omitted.
+    trials:
+        Timed repetitions per measurement (paper: 3).
+    seed:
+        Dataset generation seed.
+    n_threads:
+        Thread count for SUPEREGO.
+
+    Returns
+    -------
+    ExperimentResult
+    """
+    result = ExperimentResult()
+    for name in dataset_names:
+        spec: DatasetSpec = DATASETS[name]
+        points = spec.generate(n_points=n_points, seed=seed)
+        eps_list = list(eps_values[name]) if eps_values and name in eps_values \
+            else spec.scaled_eps(n_points)
+        for algorithm in algorithms:
+            sweep = eps_list[:1] if algorithm in EPS_INDEPENDENT else eps_list
+            for eps in sweep:
+                mean, std, pairs = run_algorithm(algorithm, points, float(eps),
+                                                 trials=trials, n_threads=n_threads)
+                result.add(TimingRecord(dataset=name, eps=float(eps),
+                                        algorithm=algorithm, time_s=mean,
+                                        time_std=std, num_pairs=pairs,
+                                        n_points=points.shape[0]))
+    return result

@@ -1,0 +1,40 @@
+"""Table I: dataset summary (name, |D|, dimensionality).
+
+The reproduction renders the paper's table side by side with the scaled
+sizes the benchmark harness actually uses and the ε scale factor derived
+from the density rule (DESIGN.md §2 / §5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.data.datasets import DATASETS
+from repro.experiments.report import format_table
+
+
+def table1_rows(n_points: Optional[int] = None
+                ) -> List[Tuple[str, int, int, int, float, str]]:
+    """Rows of the reproduced Table I.
+
+    Columns: dataset, paper |D|, n, scaled |D|, ε scale factor, figure panel.
+    """
+    rows: List[Tuple[str, int, int, int, float, str]] = []
+    for name, spec in DATASETS.items():
+        scaled = int(n_points) if n_points is not None else spec.default_scaled_points
+        rows.append((name, spec.paper_points, spec.n_dims, scaled,
+                     round(spec.eps_scale_factor(scaled), 3), spec.figure))
+    return rows
+
+
+def run_table1(n_points: Optional[int] = None) -> List[Tuple[str, int, int, int, float, str]]:
+    """Alias of :func:`table1_rows` so the experiment registry is uniform."""
+    return table1_rows(n_points)
+
+
+def format_table1(rows: List[Tuple[str, int, int, int, float, str]]) -> str:
+    """Render the table."""
+    return format_table(
+        ("dataset", "paper_|D|", "n", "scaled_|D|", "eps_scale", "figure"),
+        rows,
+        title="Table I: datasets (paper sizes and reproduction scaling)")

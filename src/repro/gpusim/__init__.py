@@ -1,0 +1,55 @@
+"""SIMT device model substituting for the CUDA GPU used in the paper.
+
+The paper evaluates on an NVIDIA TITAN X (Pascal) with CUDA kernels and
+nvprof metrics.  No GPU is available to this reproduction, so this package
+provides a functional device model that exercises the same code paths the
+paper's design depends on:
+
+* :mod:`repro.gpusim.device` / :mod:`repro.gpusim.memory` — a device
+  specification (SM count, registers, cache sizes, 12 GiB global memory) and
+  a global-memory allocator, so the batching scheme has a real capacity
+  constraint to plan against.
+* :mod:`repro.gpusim.kernel` / :mod:`repro.gpusim.warp` — a kernel launcher
+  that decomposes a launch into blocks and 32-thread warps, executes a
+  per-thread device function, and accounts for warp divergence (the paper's
+  motivation for a bounded, regular grid search).
+* :mod:`repro.gpusim.cache` — a set-associative unified (L1) cache model used
+  to produce the cache-utilization proxy reported in Table II.
+* :mod:`repro.gpusim.occupancy` — a CUDA-style theoretical occupancy
+  calculator (registers/threads/blocks limits), also for Table II.
+* :mod:`repro.gpusim.streams` — a stream/transfer timeline used to model the
+  compute/transfer overlap of the batching scheme (Section V-A).
+
+The model is *not* a cycle-accurate simulator; it is an instrumentation layer
+whose counters behave the way the paper's profiler metrics do (see DESIGN.md
+section 2 for the substitution rationale).
+"""
+
+from repro.gpusim.device import Device, DeviceSpec, TITAN_X_PASCAL
+from repro.gpusim.memory import Allocation, DeviceOutOfMemoryError, GlobalMemory
+from repro.gpusim.atomic import AppendBuffer, AtomicCounter, BufferOverflowError
+from repro.gpusim.occupancy import OccupancyResult, theoretical_occupancy
+from repro.gpusim.cache import SetAssociativeCache
+from repro.gpusim.kernel import KernelLaunch, ThreadContext
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.streams import PipelineReport, simulate_pipeline
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "TITAN_X_PASCAL",
+    "Allocation",
+    "DeviceOutOfMemoryError",
+    "GlobalMemory",
+    "AppendBuffer",
+    "AtomicCounter",
+    "BufferOverflowError",
+    "OccupancyResult",
+    "theoretical_occupancy",
+    "SetAssociativeCache",
+    "KernelLaunch",
+    "ThreadContext",
+    "KernelMetrics",
+    "PipelineReport",
+    "simulate_pipeline",
+]

@@ -1,0 +1,80 @@
+"""Atomic primitives of the device model.
+
+The paper's kernel appends results with an atomic update of a result-buffer
+index (Algorithm 1, line 17).  :class:`AtomicCounter` models the counter and
+:class:`AppendBuffer` models a fixed-capacity result buffer whose overflow is
+exactly the condition the batching scheme must avoid.
+"""
+
+from __future__ import annotations
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when an :class:`AppendBuffer` reservation exceeds its capacity."""
+
+
+class AtomicCounter:
+    """A monotonically increasing counter with fetch-and-add semantics."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = int(initial)
+
+    def fetch_add(self, amount: int = 1) -> int:
+        """Add ``amount`` and return the value *before* the addition."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        old = self._value
+        self._value += amount
+        return old
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self._value = 0
+
+
+class AppendBuffer:
+    """Fixed-capacity append buffer indexed through an atomic counter.
+
+    Models the key/value result buffer in device global memory: each thread
+    reserves a slot range atomically and writes its results there.  When the
+    reservation exceeds the buffer capacity a :class:`BufferOverflowError` is
+    raised — the situation the batch planner prevents by bounding the number
+    of queries per batch.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._counter = AtomicCounter()
+
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` consecutive slots; returns the starting offset."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = self._counter.fetch_add(count)
+        if start + count > self.capacity:
+            raise BufferOverflowError(
+                f"append of {count} items at offset {start} exceeds buffer "
+                f"capacity {self.capacity}"
+            )
+        return start
+
+    @property
+    def used(self) -> int:
+        """Number of slots reserved so far."""
+        return self._counter.value
+
+    @property
+    def remaining(self) -> int:
+        """Slots still available."""
+        return self.capacity - self._counter.value
+
+    def reset(self) -> None:
+        """Empty the buffer (new batch)."""
+        self._counter.reset()

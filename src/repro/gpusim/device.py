@@ -1,0 +1,123 @@
+"""Device specification and device object.
+
+The default :data:`TITAN_X_PASCAL` specification mirrors the platform of the
+paper's evaluation (Section VI-B): an NVIDIA TITAN X (Pascal architecture)
+with 12 GiB of global memory; kernels are launched with 256 threads per
+block.  Architectural constants (SM count, register file, cache sizes) are
+taken from the public GP102 specification and are only used for occupancy and
+cache modelling — they do not affect result correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.gpusim.memory import Allocation, GlobalMemory
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static properties of the modelled GPU."""
+
+    name: str = "TITAN X (Pascal)"
+    sm_count: int = 28
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    shared_mem_per_sm: int = 96 * 1024
+    shared_mem_per_block: int = 48 * 1024
+    unified_cache_bytes: int = 48 * 1024
+    cache_line_bytes: int = 128
+    cache_associativity: int = 4
+    l2_cache_bytes: int = 3 * 1024 * 1024
+    global_mem_bytes: int = 12 * 1024 ** 3
+    mem_bandwidth_gbps: float = 480.0
+    pcie_bandwidth_gbps: float = 12.0
+    clock_ghz: float = 1.417
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Maximum number of resident warps per SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def total_cores_hint(self) -> int:
+        """Rough CUDA-core count (128 cores per Pascal SM); informational only."""
+        return self.sm_count * 128
+
+
+#: Default device specification matching the paper's evaluation platform.
+TITAN_X_PASCAL = DeviceSpec()
+
+
+class Device:
+    """A modelled GPU: global-memory allocator plus named allocations.
+
+    The device is the capacity authority the batching scheme plans against:
+    the dataset ``D``, the index arrays and the per-batch result buffer must
+    all fit in ``spec.global_mem_bytes``.
+    """
+
+    def __init__(self, spec: Optional[DeviceSpec] = None) -> None:
+        self.spec = spec or TITAN_X_PASCAL
+        self.memory = GlobalMemory(self.spec.global_mem_bytes)
+        self._allocations: Dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------ allocation
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Allocate ``nbytes`` of global memory under ``name``.
+
+        Raises
+        ------
+        repro.gpusim.memory.DeviceOutOfMemoryError
+            If the allocation would exceed the device's global memory.
+        ValueError
+            If an allocation with the same name already exists.
+        """
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        alloc = self.memory.allocate(name, nbytes)
+        self._allocations[name] = alloc
+        return alloc
+
+    def free(self, name: str) -> None:
+        """Free the named allocation (no-op errors are surfaced as KeyError)."""
+        alloc = self._allocations.pop(name)
+        self.memory.free(alloc)
+
+    def free_all(self) -> None:
+        """Free every allocation on the device."""
+        for name in list(self._allocations):
+            self.free(name)
+
+    def allocation(self, name: str) -> Allocation:
+        """Return the named allocation."""
+        return self._allocations[name]
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self.memory.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.memory.free_bytes
+
+    # -------------------------------------------------------------- transfers
+    def h2d_time(self, nbytes: int) -> float:
+        """Estimated host-to-device transfer time in seconds (PCIe model)."""
+        return self.memory.transfer_time(nbytes, self.spec.pcie_bandwidth_gbps)
+
+    def d2h_time(self, nbytes: int) -> float:
+        """Estimated device-to-host transfer time in seconds (PCIe model)."""
+        return self.memory.transfer_time(nbytes, self.spec.pcie_bandwidth_gbps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        gib = self.spec.global_mem_bytes / 1024 ** 3
+        return (f"Device({self.spec.name!r}, {self.spec.sm_count} SMs, "
+                f"{gib:.0f} GiB, used={self.used_bytes} B)")

@@ -1,0 +1,137 @@
+"""Kernel launch machinery of the device model.
+
+A launch decomposes ``n_threads`` into blocks of ``threads_per_block`` and
+each block into warps of 32 lanes.  Every thread receives a
+:class:`ThreadContext` through which its device function issues *global
+loads* (routed through the unified-cache model), reports loop *work units*
+(for divergence accounting) and *emits* result pairs (reserving space in an
+:class:`~repro.gpusim.atomic.AppendBuffer` when one is attached).
+
+The self-join device functions that run on this launcher live in
+:mod:`repro.core.simkernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.gpusim.atomic import AppendBuffer
+from repro.gpusim.cache import SetAssociativeCache
+from repro.gpusim.device import Device, DeviceSpec
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.occupancy import theoretical_occupancy
+
+
+@dataclass
+class ThreadContext:
+    """Per-thread instrumentation handle passed to device functions."""
+
+    metrics: KernelMetrics
+    cache: SetAssociativeCache
+    array_bases: Dict[str, int]
+    result_buffer: Optional[AppendBuffer] = None
+    work_units: int = 0
+    emitted: int = 0
+    _next_base: int = field(default=0, repr=False)
+
+    def load(self, array: str, index: int, nbytes: int = 8) -> None:
+        """Record a global load of ``nbytes`` at ``array[index]``.
+
+        The address is formed from the array's (simulated) base pointer plus
+        ``index * nbytes`` and driven through the unified-cache model.
+        """
+        base = self.array_bases.get(array)
+        if base is None:
+            # Lazily place unknown arrays far apart so they do not alias.
+            base = (len(self.array_bases) + 1) * (1 << 32)
+            self.array_bases[array] = base
+        address = base + index * nbytes
+        hit = self.cache.access(address, nbytes)
+        self.metrics.global_loads += 1
+        self.metrics.global_load_bytes += nbytes
+        if hit:
+            self.metrics.cache_hits += 1
+        else:
+            self.metrics.cache_misses += 1
+
+    def work(self, units: int = 1) -> None:
+        """Record ``units`` of loop work for divergence accounting."""
+        self.work_units += units
+
+    def emit(self, count: int = 1) -> int:
+        """Emit ``count`` result pairs (atomic buffer reservation when attached).
+
+        Returns the starting offset in the result buffer (or the running
+        per-thread count when no buffer is attached).
+        """
+        self.metrics.results_emitted += count
+        self.emitted += count
+        if self.result_buffer is not None:
+            return self.result_buffer.reserve(count)
+        return self.emitted - count
+
+
+class KernelLaunch:
+    """Configured kernel launcher bound to a device.
+
+    Parameters
+    ----------
+    device:
+        The :class:`~repro.gpusim.device.Device` to launch on (provides the
+        spec for occupancy and cache parameters).
+    threads_per_block:
+        Launch configuration; the paper uses 256.
+    registers_per_thread:
+        Register footprint used for the theoretical-occupancy calculation.
+    result_buffer:
+        Optional append buffer shared by all threads of the launch.
+    """
+
+    def __init__(self, device: Device, threads_per_block: int = 256,
+                 registers_per_thread: int = 32,
+                 result_buffer: Optional[AppendBuffer] = None) -> None:
+        self.device = device
+        self.spec: DeviceSpec = device.spec
+        if threads_per_block <= 0 or threads_per_block > self.spec.max_threads_per_block:
+            raise ValueError("invalid threads_per_block for this device")
+        self.threads_per_block = int(threads_per_block)
+        self.registers_per_thread = int(registers_per_thread)
+        self.result_buffer = result_buffer
+
+    def launch(self, n_threads: int,
+               device_fn: Callable[[ThreadContext, int], None]) -> KernelMetrics:
+        """Execute ``device_fn`` for ``n_threads`` threads and return metrics.
+
+        Threads whose global id is ``>= n_threads`` simply do not exist in the
+        model (the real kernel's early-return on line 3 of Algorithm 1), so
+        the last warp may be partially filled.
+        """
+        if n_threads < 0:
+            raise ValueError("n_threads must be non-negative")
+        occ = theoretical_occupancy(self.threads_per_block, self.registers_per_thread,
+                                    spec=self.spec)
+        metrics = KernelMetrics(spec=self.spec,
+                                theoretical_occupancy=occ.occupancy,
+                                registers_per_thread=self.registers_per_thread)
+        cache = SetAssociativeCache(self.spec.unified_cache_bytes,
+                                    self.spec.cache_line_bytes,
+                                    self.spec.cache_associativity)
+        array_bases: Dict[str, int] = {}
+
+        warp_size = self.spec.warp_size
+        for warp_start in range(0, n_threads, warp_size):
+            lanes = range(warp_start, min(warp_start + warp_size, n_threads))
+            works = []
+            for gid in lanes:
+                ctx = ThreadContext(metrics=metrics, cache=cache,
+                                    array_bases=array_bases,
+                                    result_buffer=self.result_buffer)
+                device_fn(ctx, gid)
+                works.append(ctx.work_units)
+            metrics.threads_launched += len(works)
+            metrics.warps_executed += 1
+            if works:
+                metrics.warp_serialized_work += max(works) * len(works)
+                metrics.warp_useful_work += sum(works)
+        return metrics

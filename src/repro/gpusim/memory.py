@@ -1,0 +1,87 @@
+"""Global-memory allocator and transfer-time model.
+
+The allocator enforces the 12 GiB capacity of the modelled device.  The
+batching scheme (Section V-A of the paper) exists precisely because the
+self-join result set can exceed this capacity in low dimensions; the planner
+in :mod:`repro.core.batching` uses this allocator to size the per-batch
+result buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class DeviceOutOfMemoryError(MemoryError):
+    """Raised when an allocation exceeds the device's global-memory capacity."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named slice of device global memory."""
+
+    name: str
+    offset: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the allocation."""
+        return self.offset + self.nbytes
+
+
+class GlobalMemory:
+    """Bump allocator with explicit free tracking.
+
+    The model does not need a real free-list; allocations are tracked by
+    total size only (fragmentation is irrelevant to the experiments), but
+    offsets are still handed out so thread contexts can form distinct
+    addresses per array for the cache model.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._used = 0
+        self._next_offset = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available for further allocations."""
+        return self.capacity_bytes - self._used
+
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes``; raises :class:`DeviceOutOfMemoryError` on overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self._used + nbytes > self.capacity_bytes:
+            raise DeviceOutOfMemoryError(
+                f"allocation {name!r} of {nbytes} B exceeds device capacity: "
+                f"{self.free_bytes} B free of {self.capacity_bytes} B"
+            )
+        alloc = Allocation(name=name, offset=self._next_offset, nbytes=nbytes)
+        self._used += nbytes
+        # Keep addresses cache-line aligned so the cache model sees realistic bases.
+        self._next_offset += max(nbytes, 1)
+        self._next_offset = (self._next_offset + 127) // 128 * 128
+        return alloc
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation's bytes back to the pool."""
+        self._used -= allocation.nbytes
+        if self._used < 0:
+            raise RuntimeError("double free detected: used bytes became negative")
+
+    @staticmethod
+    def transfer_time(nbytes: int, bandwidth_gbps: float) -> float:
+        """Idealized transfer time (seconds) over a link of ``bandwidth_gbps`` GB/s."""
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        return float(nbytes) / (bandwidth_gbps * 1e9)

@@ -1,0 +1,138 @@
+"""Theoretical occupancy calculator (CUDA occupancy model).
+
+Table II of the paper reports the *theoretical occupancy* of the self-join
+kernel with and without UNICOMP: UNICOMP uses more registers per thread,
+which lowers the number of warps that can be resident on an SM.  This module
+reproduces the standard occupancy calculation: the number of resident blocks
+per SM is the minimum of the limits imposed by warps, registers, shared
+memory and the block-count cap; occupancy is resident warps divided by the
+SM's maximum resident warps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec, TITAN_X_PASCAL
+
+#: Register allocation granularity (registers are allocated per warp in
+#: multiples of this on Maxwell/Pascal).
+REGISTER_ALLOCATION_UNIT = 256
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation."""
+
+    threads_per_block: int
+    registers_per_thread: int
+    shared_mem_per_block: int
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    limiting_factor: str
+
+    @property
+    def occupancy(self) -> float:
+        """Theoretical occupancy in [0, 1]."""
+        if self.max_warps_per_sm == 0:
+            return 0.0
+        return self.active_warps_per_sm / self.max_warps_per_sm
+
+
+def _registers_per_block(spec: DeviceSpec, threads_per_block: int,
+                         registers_per_thread: int) -> int:
+    """Registers consumed by one block, with per-warp allocation granularity."""
+    warps = -(-threads_per_block // spec.warp_size)
+    regs_per_warp = registers_per_thread * spec.warp_size
+    regs_per_warp = -(-regs_per_warp // REGISTER_ALLOCATION_UNIT) * REGISTER_ALLOCATION_UNIT
+    return warps * regs_per_warp
+
+
+def theoretical_occupancy(threads_per_block: int, registers_per_thread: int,
+                          shared_mem_per_block: int = 0,
+                          spec: DeviceSpec = TITAN_X_PASCAL) -> OccupancyResult:
+    """Compute theoretical occupancy for a kernel configuration.
+
+    Parameters
+    ----------
+    threads_per_block:
+        Launch configuration (the paper uses 256).
+    registers_per_thread:
+        Registers the compiler assigned per thread; the UNICOMP kernel uses
+        more registers than the GLOBAL kernel, and register use grows with
+        dimensionality (the coordinates are held in registers).
+    shared_mem_per_block:
+        Static + dynamic shared memory per block (the paper's kernels use no
+        shared memory, so this defaults to zero).
+    spec:
+        Device specification.
+
+    Returns
+    -------
+    OccupancyResult
+    """
+    if threads_per_block <= 0 or threads_per_block > spec.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block must be in (0, {spec.max_threads_per_block}]"
+        )
+    if registers_per_thread <= 0 or registers_per_thread > spec.max_registers_per_thread:
+        raise ValueError(
+            f"registers_per_thread must be in (0, {spec.max_registers_per_thread}]"
+        )
+    if shared_mem_per_block < 0 or shared_mem_per_block > spec.shared_mem_per_block:
+        raise ValueError(
+            f"shared_mem_per_block must be in [0, {spec.shared_mem_per_block}]"
+        )
+
+    warps_per_block = -(-threads_per_block // spec.warp_size)
+
+    limit_warps = spec.max_warps_per_sm // warps_per_block
+    regs_per_block = _registers_per_block(spec, threads_per_block, registers_per_thread)
+    limit_regs = spec.registers_per_sm // regs_per_block if regs_per_block else spec.max_blocks_per_sm
+    if shared_mem_per_block > 0:
+        limit_smem = spec.shared_mem_per_sm // shared_mem_per_block
+    else:
+        limit_smem = spec.max_blocks_per_sm
+    limit_blocks = spec.max_blocks_per_sm
+
+    limits = {
+        "warps": limit_warps,
+        "registers": limit_regs,
+        "shared_memory": limit_smem,
+        "blocks": limit_blocks,
+    }
+    limiting_factor = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = max(0, min(limits.values()))
+    active_warps = blocks_per_sm * warps_per_block
+
+    return OccupancyResult(
+        threads_per_block=threads_per_block,
+        registers_per_thread=registers_per_thread,
+        shared_mem_per_block=shared_mem_per_block,
+        blocks_per_sm=blocks_per_sm,
+        active_warps_per_sm=active_warps,
+        max_warps_per_sm=spec.max_warps_per_sm,
+        limiting_factor=limiting_factor,
+    )
+
+
+def estimate_registers_per_thread(n_dims: int, unicomp: bool) -> int:
+    """Heuristic register-count model for the self-join kernels.
+
+    The paper observes (Table II) that (i) register use grows with
+    dimensionality because the query point's coordinates and per-dimension
+    loop state live in registers, and (ii) UNICOMP uses additional registers
+    for the parity bookkeeping and the duplicated emit path, lowering
+    occupancy from 100% to 75% in 2-D and from 62.5% to 50% in 5–6-D at 256
+    threads per block.  The linear model below (4 registers per extra
+    dimension, 8 extra registers for UNICOMP on a 32-register 2-D base) is
+    fitted so the occupancy calculator reproduces exactly those Table II
+    values.
+    """
+    if n_dims < 1:
+        raise ValueError("n_dims must be >= 1")
+    base = 32 + 4 * max(0, n_dims - 2)
+    if unicomp:
+        base += 8
+    return min(base, 255)

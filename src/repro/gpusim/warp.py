@@ -1,0 +1,66 @@
+"""Warp-level execution of per-thread device functions.
+
+A warp executes its (up to 32) threads logically in lockstep.  In the model,
+every thread runs its device function to completion and reports the amount of
+loop "work" it performed; the warp then charges the *maximum* per-thread work
+to every lane, which is exactly the serialization penalty branch divergence
+causes on real SIMD hardware.  The difference between charged and useful work
+is surfaced through :class:`repro.gpusim.metrics.KernelMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.gpusim.kernel import ThreadContext
+
+
+@dataclass
+class WarpResult:
+    """Work accounting for one executed warp."""
+
+    lanes: int
+    max_work: int
+    total_work: int
+
+    @property
+    def serialized_work(self) -> int:
+        """Work the SIMD warp executes when every lane follows the longest path."""
+        return self.max_work * self.lanes
+
+    @property
+    def divergence_factor(self) -> float:
+        """Serialized over useful work for this warp (>= 1)."""
+        if self.total_work == 0:
+            return 1.0
+        return self.serialized_work / self.total_work
+
+
+def execute_warp(device_fn: Callable[[ThreadContext, int], None],
+                 thread_ids: Sequence[int],
+                 contexts: Sequence[ThreadContext]) -> WarpResult:
+    """Run one warp of threads and account for divergence.
+
+    Parameters
+    ----------
+    device_fn:
+        The per-thread device function ``fn(ctx, gid)``.
+    thread_ids:
+        Global thread ids of the lanes in this warp.
+    contexts:
+        One :class:`ThreadContext` per lane (pre-constructed by the launcher).
+
+    Returns
+    -------
+    WarpResult
+    """
+    if len(thread_ids) != len(contexts):
+        raise ValueError("thread_ids and contexts must have equal length")
+    works = []
+    for gid, ctx in zip(thread_ids, contexts):
+        device_fn(ctx, gid)
+        works.append(ctx.work_units)
+    if not works:
+        return WarpResult(lanes=0, max_work=0, total_work=0)
+    return WarpResult(lanes=len(works), max_work=max(works), total_work=sum(works))

@@ -1,0 +1,18 @@
+"""Shared utilities: timing, validation and lightweight logging."""
+
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_eps,
+    check_points,
+    ensure_2d_float64,
+    require,
+)
+
+__all__ = [
+    "Timer",
+    "timed",
+    "check_eps",
+    "check_points",
+    "ensure_2d_float64",
+    "require",
+]

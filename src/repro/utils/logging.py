@@ -1,0 +1,31 @@
+"""Minimal logging facade.
+
+The library never configures the root logger; it only emits records under
+the ``repro`` namespace so applications control verbosity.  The experiment
+harness uses :func:`get_logger` for progress messages when ``verbose=True``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a library logger, namespaced under ``repro``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_verbose(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Intended for command-line example scripts; libraries embedding ``repro``
+    should configure logging themselves.
+    """
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)

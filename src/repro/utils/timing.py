@@ -1,0 +1,52 @@
+"""Timing helpers used by the experiment harness.
+
+The paper reports response times averaged over three trials; the
+:class:`Timer` context manager and the :func:`timed` helper provide the
+measurement primitive and keep the averaging logic in
+:mod:`repro.analysis.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class Timer:
+    """Context-manager wall-clock timer.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed wall-clock seconds."""
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+def timed(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func(*args, **kwargs)`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,72 @@
+"""Input validation helpers shared across the library.
+
+All public entry points funnel through these checks so that error messages
+are consistent and the numeric kernels can assume well-formed inputs
+(C-contiguous 2-D ``float64`` arrays, strictly positive ε).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_2d_float64(points: Any, name: str = "points") -> np.ndarray:
+    """Coerce ``points`` to a C-contiguous 2-D ``float64`` array.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n_points, n_dims)``. A 1-D array is treated as
+        a single-dimension dataset of shape ``(n_points, 1)``.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` view/copy of the input.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one point")
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must have at least one dimension")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} must be finite (no NaN/inf values)")
+    return np.ascontiguousarray(arr)
+
+
+def check_points(points: Any, max_dims: int | None = None) -> np.ndarray:
+    """Validate a point set and optionally bound its dimensionality.
+
+    The paper targets 2–6 dimensions; callers that implement paper-scoped
+    behaviour pass ``max_dims`` to surface a clear error rather than silently
+    degrading (the grid index itself works for any ``n``).
+    """
+    arr = ensure_2d_float64(points)
+    if max_dims is not None and arr.shape[1] > max_dims:
+        raise ValueError(
+            f"points have {arr.shape[1]} dimensions; this operation supports "
+            f"at most {max_dims} (the paper targets low dimensionality)"
+        )
+    return arr
+
+
+def check_eps(eps: float) -> float:
+    """Validate the ε search distance (must be a finite positive scalar)."""
+    eps_f = float(eps)
+    if not np.isfinite(eps_f) or eps_f <= 0.0:
+        raise ValueError(f"eps must be a finite positive number, got {eps!r}")
+    return eps_f

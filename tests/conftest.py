@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide small, deterministic datasets (uniform, clustered and the
+real-world surrogates) plus ground-truth pair sets computed with scipy's
+KD-tree, so every self-join implementation can be cross-checked against the
+same reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.core.gridindex import GridIndex
+from repro.data.realworld import sdss_dataset, sw_dataset
+from repro.data.synthetic import gaussian_clusters, uniform_dataset
+
+
+@pytest.fixture(scope="session")
+def uniform_2d() -> np.ndarray:
+    """800 uniform points in [0, 20]^2."""
+    return uniform_dataset(800, 2, seed=101, low=0.0, high=20.0)
+
+
+@pytest.fixture(scope="session")
+def uniform_3d() -> np.ndarray:
+    """700 uniform points in [0, 10]^3."""
+    return uniform_dataset(700, 3, seed=102, low=0.0, high=10.0)
+
+
+@pytest.fixture(scope="session")
+def uniform_5d() -> np.ndarray:
+    """400 uniform points in [0, 6]^5."""
+    return uniform_dataset(400, 5, seed=103, low=0.0, high=6.0)
+
+
+@pytest.fixture(scope="session")
+def clustered_2d() -> np.ndarray:
+    """600 clustered points (Gaussian mixture) in 2-D."""
+    return gaussian_clusters(600, 2, n_clusters=6, cluster_std=1.5, seed=104)
+
+
+@pytest.fixture(scope="session")
+def sw_small() -> np.ndarray:
+    """Small SW- (ionosphere) surrogate in 3-D."""
+    return sw_dataset(500, n_dims=3, seed=105)
+
+
+@pytest.fixture(scope="session")
+def sdss_small() -> np.ndarray:
+    """Small SDSS- (galaxy) surrogate in 2-D."""
+    return sdss_dataset(500, seed=106)
+
+
+@pytest.fixture(scope="session")
+def eps_2d() -> float:
+    """ε used with the 2-D uniform fixture (a few neighbors per point)."""
+    return 0.8
+
+
+@pytest.fixture(scope="session")
+def eps_3d() -> float:
+    """ε used with the 3-D uniform fixture."""
+    return 0.7
+
+
+@pytest.fixture(scope="session")
+def index_2d(uniform_2d, eps_2d) -> GridIndex:
+    """Grid index over the 2-D uniform fixture."""
+    return GridIndex.build(uniform_2d, eps_2d)
+
+
+@pytest.fixture(scope="session")
+def index_3d(uniform_3d, eps_3d) -> GridIndex:
+    """Grid index over the 3-D uniform fixture."""
+    return GridIndex.build(uniform_3d, eps_3d)
+
+
+@pytest.fixture(scope="session")
+def reference_pairs_2d(uniform_2d, eps_2d) -> np.ndarray:
+    """Canonical ground-truth ordered pairs for the 2-D fixture."""
+    return kdtree_selfjoin(uniform_2d, eps_2d).canonical_pairs()
+
+
+@pytest.fixture(scope="session")
+def reference_pairs_3d(uniform_3d, eps_3d) -> np.ndarray:
+    """Canonical ground-truth ordered pairs for the 3-D fixture."""
+    return kdtree_selfjoin(uniform_3d, eps_3d).canonical_pairs()

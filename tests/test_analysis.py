@@ -1,0 +1,69 @@
+"""Tests for the analysis helpers (speedups, ratios, statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.speedup import (
+    average_speedup,
+    pairwise_speedups,
+    ratio_series,
+    speedup,
+)
+from repro.analysis.stats import geometric_mean, mean_and_std, summarize_series
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+
+    def test_pairwise_uses_common_keys_only(self):
+        base = {("a", 1.0): 10.0, ("a", 2.0): 20.0, ("b", 1.0): 5.0}
+        cand = {("a", 1.0): 1.0, ("b", 1.0): 1.0, ("c", 1.0): 1.0}
+        result = pairwise_speedups(base, cand)
+        assert set(result) == {("a", 1.0), ("b", 1.0)}
+        assert result[("a", 1.0)] == pytest.approx(10.0)
+
+    def test_average(self):
+        assert average_speedup([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            average_speedup([])
+
+    def test_ratio_series(self):
+        assert ratio_series([2.0, 4.0], [1.0, 2.0]) == [2.0, 2.0]
+        with pytest.raises(ValueError):
+            ratio_series([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ratio_series([1.0], [0.0])
+
+
+class TestStats:
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert std == pytest.approx((8 / 3) ** 0.5)
+
+    def test_mean_requires_values(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([10.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_summarize_series(self):
+        summary = summarize_series({"a": [1.0, 3.0], "b": [2.0], "empty": []})
+        assert summary["a"][0] == pytest.approx(2.0)
+        assert summary["b"] == (2.0, 0.0)
+        assert "empty" not in summary

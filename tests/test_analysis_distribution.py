@@ -1,0 +1,73 @@
+"""Tests for the data-distribution diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    compare_distributions,
+    gini_coefficient,
+    profile_distribution,
+)
+from repro.core.gridindex import GridIndex
+from repro.data.synthetic import gaussian_clusters, uniform_dataset
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini_coefficient(np.full(10, 5.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentration_approaches_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_known_value(self):
+        # For [1, 3]: mean absolute difference = 2, mean = 2 -> Gini = 0.25.
+        assert gini_coefficient(np.array([1.0, 3.0])) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.empty(0)) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+
+class TestProfile:
+    def test_uniform_profile_is_unskewed(self):
+        points = uniform_dataset(5000, 2, seed=0)
+        profile = profile_distribution(GridIndex.build(points, 3.0))
+        assert not profile.is_skewed
+        assert profile.coefficient_of_variation < 1.0
+        assert 0.0 < profile.occupancy_fraction <= 1.0
+        assert 0.0 < profile.candidate_selectivity <= 1.0
+
+    def test_clustered_profile_is_skewed(self):
+        points = gaussian_clusters(5000, 2, n_clusters=5, cluster_std=1.0, seed=1)
+        profile = profile_distribution(GridIndex.build(points, 3.0))
+        assert profile.is_skewed
+        assert profile.gini_coefficient > 0.4
+
+    def test_profile_counts_consistent(self):
+        points = uniform_dataset(1000, 3, seed=2)
+        index = GridIndex.build(points, 5.0)
+        profile = profile_distribution(index)
+        assert profile.num_points == 1000
+        assert profile.num_nonempty_cells == index.num_nonempty_cells
+        assert profile.max_points_per_cell >= profile.mean_points_per_cell
+
+    def test_compare_distributions(self):
+        datasets = {
+            "uniform": uniform_dataset(2000, 2, seed=3),
+            "clustered": gaussian_clusters(2000, 2, n_clusters=6, cluster_std=1.5, seed=3),
+        }
+        profiles = compare_distributions(datasets, eps=2.0)
+        assert set(profiles) == {"uniform", "clustered"}
+        # The paper's argument: clustered data occupies fewer cells.
+        assert (profiles["clustered"].num_nonempty_cells
+                < profiles["uniform"].num_nonempty_cells)
+        assert (profiles["clustered"].gini_coefficient
+                > profiles["uniform"].gini_coefficient)

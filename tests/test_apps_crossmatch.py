@@ -1,0 +1,60 @@
+"""Tests for catalog cross-matching on the bipartite join."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.apps.crossmatch import crossmatch
+from repro.data.realworld import sdss_dataset
+from repro.data.synthetic import uniform_dataset
+
+
+class TestCrossMatch:
+    def test_recovers_shifted_counterparts(self):
+        rng = np.random.default_rng(0)
+        reference = sdss_dataset(2000, seed=1)
+        # Queries are the reference objects perturbed by much less than the radius.
+        queries = reference + rng.normal(0.0, 0.01, reference.shape)
+        result = crossmatch(queries, reference, radius=0.2)
+        # Essentially every object must match, mostly to its own counterpart.
+        assert result.completeness() > 0.99
+        own = result.best_match == np.arange(reference.shape[0])
+        assert own.mean() > 0.9
+
+    def test_best_match_is_nearest_within_radius(self):
+        reference = uniform_dataset(500, 2, seed=2, low=0.0, high=10.0)
+        queries = uniform_dataset(200, 2, seed=3, low=0.0, high=10.0)
+        radius = 1.0
+        result = crossmatch(queries, reference, radius)
+        tree = cKDTree(reference)
+        dist, idx = tree.query(queries, k=1)
+        for q in range(queries.shape[0]):
+            if dist[q] <= radius:
+                assert result.best_match[q] == idx[q]
+                assert result.best_distance[q] == pytest.approx(dist[q])
+            else:
+                assert result.best_match[q] == -1
+                assert np.isinf(result.best_distance[q])
+
+    def test_unmatched_objects_reported(self):
+        reference = uniform_dataset(100, 2, seed=4, low=0.0, high=5.0)
+        far_queries = uniform_dataset(50, 2, seed=5, low=100.0, high=105.0)
+        result = crossmatch(far_queries, reference, radius=1.0)
+        assert result.num_matched == 0
+        assert result.completeness() == 0.0
+        assert np.all(result.match_counts == 0)
+
+    def test_ambiguity_counter(self):
+        reference = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        queries = np.array([[0.05, 0.0], [5.0, 5.0]])
+        result = crossmatch(queries, reference, radius=0.5)
+        assert result.match_counts.tolist() == [2, 1]
+        assert result.num_ambiguous == 1
+        assert result.best_match[1] == 2
+
+    def test_invalid_radius(self):
+        pts = uniform_dataset(10, 2, seed=6)
+        with pytest.raises(ValueError):
+            crossmatch(pts, pts, radius=0.0)

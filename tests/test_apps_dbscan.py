@@ -1,0 +1,104 @@
+"""Tests for DBSCAN built on the self-join."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.dbscan import NOISE, dbscan
+from repro.core.selfjoin import SelfJoinConfig
+from repro.data.synthetic import gaussian_clusters
+
+
+def two_blobs(n_per_blob=150, separation=20.0, std=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, std, (n_per_blob, 2))
+    b = rng.normal(separation, std, (n_per_blob, 2))
+    return np.vstack([a, b])
+
+
+class TestDBSCANClusters:
+    def test_two_well_separated_blobs(self):
+        pts = two_blobs()
+        result = dbscan(pts, eps=1.0, min_pts=5)
+        assert result.n_clusters == 2
+        # Each blob must map to a single label.
+        first = result.labels[:150]
+        second = result.labels[150:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_noise_detected(self):
+        pts = np.vstack([two_blobs(), np.array([[100.0, 100.0], [-50.0, 70.0]])])
+        result = dbscan(pts, eps=1.0, min_pts=5)
+        assert result.labels[-1] == NOISE
+        assert result.labels[-2] == NOISE
+        assert int(result.noise_mask.sum()) == 2
+
+    def test_min_pts_one_makes_everything_core(self):
+        pts = two_blobs(n_per_blob=50)
+        result = dbscan(pts, eps=0.5, min_pts=1)
+        assert result.core_mask.all()
+        assert not result.noise_mask.any()
+
+    def test_large_min_pts_all_noise(self):
+        pts = two_blobs(n_per_blob=20)
+        result = dbscan(pts, eps=0.3, min_pts=100)
+        assert result.n_clusters == 0
+        assert result.noise_mask.all()
+
+    def test_cluster_sizes_sum(self):
+        pts = gaussian_clusters(600, 2, n_clusters=4, cluster_std=1.0, seed=3)
+        result = dbscan(pts, eps=1.0, min_pts=5)
+        assert int(result.cluster_sizes().sum()) + int(result.noise_mask.sum()) == 600
+
+    def test_labels_are_contiguous(self):
+        pts = gaussian_clusters(500, 2, n_clusters=5, cluster_std=0.8, seed=6)
+        result = dbscan(pts, eps=1.0, min_pts=4)
+        labels = set(result.labels.tolist()) - {NOISE}
+        assert labels == set(range(result.n_clusters))
+
+
+class TestDBSCANEquivalence:
+    def test_matches_sklearn_style_reference(self):
+        """Compare against a straightforward reference DBSCAN implementation."""
+        pts = gaussian_clusters(400, 2, n_clusters=3, cluster_std=1.0, seed=9)
+        eps, min_pts = 1.2, 5
+        ours = dbscan(pts, eps=eps, min_pts=min_pts)
+
+        # Reference: brute-force neighborhoods + the same expansion semantics.
+        from scipy.spatial import cKDTree
+        tree = cKDTree(pts)
+        neighborhoods = [np.asarray(sorted(tree.query_ball_point(p, eps))) for p in pts]
+        core = np.array([len(nb) >= min_pts for nb in neighborhoods])
+
+        # Cluster co-membership must agree (label numbering may differ).
+        assert np.array_equal(core, ours.core_mask)
+        # Noise: non-core points with no core neighbor.
+        is_noise = np.array([
+            (not core[i]) and not any(core[j] for j in neighborhoods[i])
+            for i in range(len(pts))
+        ])
+        assert np.array_equal(is_noise, ours.noise_mask)
+
+    def test_unicomp_and_global_give_same_clustering(self):
+        pts = gaussian_clusters(500, 3, n_clusters=4, cluster_std=1.0, seed=10)
+        a = dbscan(pts, eps=1.5, min_pts=5, config=SelfJoinConfig(unicomp=True))
+        b = dbscan(pts, eps=1.5, min_pts=5, config=SelfJoinConfig(unicomp=False))
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestDBSCANValidation:
+    def test_invalid_min_pts(self):
+        with pytest.raises(ValueError):
+            dbscan(two_blobs(), eps=1.0, min_pts=0)
+
+    def test_requires_self_pairs(self):
+        with pytest.raises(ValueError):
+            dbscan(two_blobs(), eps=1.0, min_pts=3,
+                   config=SelfJoinConfig(include_self=False))
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            dbscan(two_blobs(), eps=-1.0, min_pts=3)

@@ -1,0 +1,87 @@
+"""Tests for the grid-index kNN search (future-work application)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.apps.knn import knn_search
+from repro.core.gridindex import GridIndex
+from repro.data.synthetic import gaussian_clusters, uniform_dataset
+
+
+class TestKNNCorrectness:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_distances_match_kdtree(self, dims):
+        pts = uniform_dataset(400, dims, seed=dims, low=0.0, high=10.0)
+        k = 4
+        result = knn_search(pts, k=k)
+        ref_dist, _ = cKDTree(pts).query(pts, k=k + 1)
+        assert np.allclose(np.sort(result.distances, axis=1), ref_dist[:, 1:])
+
+    def test_include_self(self):
+        pts = uniform_dataset(200, 2, seed=1, low=0.0, high=5.0)
+        result = knn_search(pts, k=3, include_self=True)
+        # With include_self the nearest neighbor of each point is itself.
+        assert np.allclose(result.distances[:, 0], 0.0)
+        assert np.array_equal(result.indices[:, 0], np.arange(200))
+
+    def test_external_queries(self):
+        pts = uniform_dataset(300, 2, seed=2, low=0.0, high=10.0)
+        queries = uniform_dataset(50, 2, seed=3, low=0.0, high=10.0)
+        result = knn_search(pts, k=5, queries=queries)
+        ref_dist, _ = cKDTree(pts).query(queries, k=5)
+        assert np.allclose(np.sort(result.distances, axis=1), ref_dist)
+
+    def test_clustered_data(self):
+        pts = gaussian_clusters(500, 2, n_clusters=5, cluster_std=1.0, seed=4)
+        result = knn_search(pts, k=3)
+        ref_dist, _ = cKDTree(pts).query(pts, k=4)
+        assert np.allclose(np.sort(result.distances, axis=1), ref_dist[:, 1:])
+
+    def test_prebuilt_index_reused(self):
+        pts = uniform_dataset(300, 2, seed=5, low=0.0, high=10.0)
+        index = GridIndex.build(pts, 1.0)
+        result = knn_search(pts, k=2, index=index)
+        ref_dist, _ = cKDTree(pts).query(pts, k=3)
+        assert np.allclose(np.sort(result.distances, axis=1), ref_dist[:, 1:])
+
+    def test_k_equals_all_other_points(self):
+        pts = uniform_dataset(30, 2, seed=6, low=0.0, high=3.0)
+        result = knn_search(pts, k=29)
+        assert result.indices.shape == (30, 29)
+        # Every other point must appear exactly once per query.
+        for qi in range(30):
+            assert set(result.indices[qi].tolist()) == set(range(30)) - {qi}
+
+
+class TestKNNResultShape:
+    def test_result_shapes_and_k(self):
+        pts = uniform_dataset(100, 3, seed=7, low=0.0, high=5.0)
+        result = knn_search(pts, k=6)
+        assert result.indices.shape == (100, 6)
+        assert result.distances.shape == (100, 6)
+        assert result.k == 6
+
+    def test_distances_sorted_ascending(self):
+        pts = uniform_dataset(200, 2, seed=8, low=0.0, high=5.0)
+        result = knn_search(pts, k=5)
+        assert np.all(np.diff(result.distances, axis=1) >= -1e-12)
+
+
+class TestKNNValidation:
+    def test_invalid_k(self):
+        pts = uniform_dataset(10, 2, seed=0)
+        with pytest.raises(ValueError):
+            knn_search(pts, k=0)
+        with pytest.raises(ValueError):
+            knn_search(pts, k=10)  # only 9 other points available
+        # But k == 10 is fine when the point itself may be returned.
+        assert knn_search(pts, k=10, include_self=True).k == 10
+
+    def test_duplicate_points_handled(self):
+        pts = np.vstack([np.zeros((5, 2)), np.ones((5, 2))])
+        result = knn_search(pts, k=4)
+        # Each point's 4 nearest neighbors are its 4 duplicates at distance 0.
+        assert np.allclose(result.distances, 0.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the result-set batching scheme (Section V-A)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.batching import (
+    PAIR_BYTES,
+    BatchPlanner,
+    execute_batched,
+    split_cells_balanced,
+)
+from repro.core.gridindex import GridIndex
+from repro.core.kernels import (
+    selfjoin_global_vectorized,
+    selfjoin_unicomp_vectorized,
+)
+from repro.gpusim import Device, TITAN_X_PASCAL
+
+
+def vec_kernel(index, eps, cells):
+    return selfjoin_global_vectorized(index, eps, cells)
+
+
+def uni_kernel(index, eps, cells):
+    return selfjoin_unicomp_vectorized(index, eps, cells)
+
+
+class TestSplitCells:
+    def test_covers_all_cells_exactly_once(self, index_2d):
+        batches = split_cells_balanced(index_2d, 5)
+        combined = np.concatenate(batches)
+        assert np.array_equal(np.sort(combined),
+                              np.arange(index_2d.num_nonempty_cells))
+
+    def test_batches_are_contiguous(self, index_2d):
+        batches = split_cells_balanced(index_2d, 4)
+        for batch in batches:
+            if batch.size:
+                assert np.array_equal(batch, np.arange(batch[0], batch[-1] + 1))
+
+    def test_balanced_by_points(self, index_2d):
+        batches = split_cells_balanced(index_2d, 3)
+        per_batch_points = [int(index_2d.cell_counts[b].sum()) for b in batches]
+        total = sum(per_batch_points)
+        for points in per_batch_points:
+            assert points < 0.6 * total  # no batch dominates
+
+    def test_more_batches_than_cells(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        index = GridIndex.build(pts, 1.0)
+        batches = split_cells_balanced(index, 10)
+        assert len(batches) <= index.num_nonempty_cells
+        assert sum(b.size for b in batches) == index.num_nonempty_cells
+
+    def test_invalid_batch_count(self, index_2d):
+        with pytest.raises(ValueError):
+            split_cells_balanced(index_2d, 0)
+
+
+class TestPlanner:
+    def test_minimum_three_batches(self, index_2d, eps_2d):
+        planner = BatchPlanner(min_batches=3)
+        plan = planner.plan(index_2d, eps_2d, kernel=vec_kernel)
+        assert plan.n_batches >= 3
+
+    def test_estimate_within_factor_of_truth(self, index_2d, eps_2d):
+        planner = BatchPlanner(sample_fraction=0.25, seed=3)
+        estimate = planner.estimate_result_pairs(index_2d, eps_2d, vec_kernel)
+        truth = selfjoin_global_vectorized(index_2d, eps_2d).result.num_pairs
+        assert 0.3 * truth <= estimate <= 3.0 * truth
+
+    def test_estimate_full_sample_is_exact(self, index_2d, eps_2d):
+        planner = BatchPlanner(sample_fraction=1.0, max_sample_cells=10 ** 9)
+        estimate = planner.estimate_result_pairs(index_2d, eps_2d, vec_kernel)
+        truth = selfjoin_global_vectorized(index_2d, eps_2d).result.num_pairs
+        assert estimate == truth
+
+    def test_small_device_memory_forces_more_batches(self, index_2d, eps_2d):
+        truth = selfjoin_global_vectorized(index_2d, eps_2d).result.num_pairs
+        tiny_bytes = index_2d.points.nbytes + index_2d.memory_footprint() \
+            + truth * PAIR_BYTES // 4
+        tiny = Device(replace(TITAN_X_PASCAL, global_mem_bytes=int(tiny_bytes)))
+        planner = BatchPlanner(device=tiny, min_batches=3,
+                               result_buffer_fraction=1.0, sample_fraction=1.0,
+                               max_sample_cells=10 ** 9)
+        plan = planner.plan(index_2d, eps_2d, kernel=vec_kernel)
+        assert plan.n_batches > 3
+
+    def test_plan_requires_kernel_or_estimate(self, index_2d, eps_2d):
+        planner = BatchPlanner()
+        with pytest.raises(ValueError):
+            planner.plan(index_2d, eps_2d)
+        plan = planner.plan(index_2d, eps_2d, estimated_pairs=1000)
+        assert plan.estimated_total_pairs == 1000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchPlanner(min_batches=0)
+        with pytest.raises(ValueError):
+            BatchPlanner(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            BatchPlanner(result_buffer_fraction=1.5)
+
+    def test_plan_covers_all_cells(self, index_3d, eps_3d):
+        plan = BatchPlanner().plan(index_3d, eps_3d, kernel=vec_kernel)
+        assert plan.total_cells() == index_3d.num_nonempty_cells
+
+
+class TestExecuteBatched:
+    def test_batched_equals_unbatched_global(self, index_2d, eps_2d):
+        plan = BatchPlanner(min_batches=4).plan(index_2d, eps_2d, kernel=vec_kernel)
+        result, stats, report = execute_batched(index_2d, eps_2d, plan, vec_kernel)
+        full = selfjoin_global_vectorized(index_2d, eps_2d)
+        assert result.same_pairs_as(full.result)
+        assert report.total_pairs == result.num_pairs
+
+    def test_batched_equals_unbatched_unicomp(self, index_3d, eps_3d):
+        plan = BatchPlanner(min_batches=3).plan(index_3d, eps_3d, kernel=uni_kernel)
+        result, stats, report = execute_batched(index_3d, eps_3d, plan, uni_kernel)
+        full = selfjoin_unicomp_vectorized(index_3d, eps_3d)
+        assert result.same_pairs_as(full.result)
+
+    def test_adaptive_split_on_overflow(self, index_2d, eps_2d):
+        # Deliberately under-size the buffer so batches must split.
+        plan = BatchPlanner(min_batches=3).plan(index_2d, eps_2d, kernel=vec_kernel)
+        truth = selfjoin_global_vectorized(index_2d, eps_2d).result.num_pairs
+        small_plan = replace(plan, buffer_capacity_pairs=max(1, truth // 10))
+        result, _, report = execute_batched(index_2d, eps_2d, small_plan, vec_kernel)
+        assert report.splits_performed > 0
+        full = selfjoin_global_vectorized(index_2d, eps_2d)
+        assert result.same_pairs_as(full.result)
+
+    def test_pipeline_report_present(self, index_2d, eps_2d):
+        plan = BatchPlanner().plan(index_2d, eps_2d, kernel=vec_kernel)
+        _, _, report = execute_batched(index_2d, eps_2d, plan, vec_kernel, n_streams=3)
+        assert report.pipeline is not None
+        assert report.pipeline.n_batches == len(report.batch_pairs)
+        assert report.pipeline.overlapped_time <= report.pipeline.serial_time + 1e-12
+
+    def test_stats_accumulated_across_batches(self, index_2d, eps_2d):
+        plan = BatchPlanner(min_batches=4).plan(index_2d, eps_2d, kernel=vec_kernel)
+        _, stats, _ = execute_batched(index_2d, eps_2d, plan, vec_kernel)
+        unbatched = selfjoin_global_vectorized(index_2d, eps_2d)
+        assert stats.distance_calcs == unbatched.stats.distance_calcs
+        assert stats.result_pairs == unbatched.stats.result_pairs

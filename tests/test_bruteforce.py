@@ -1,0 +1,68 @@
+"""Tests for the brute-force O(N^2) joins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count, bruteforce_selfjoin
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+
+
+class TestBruteForce:
+    def test_matches_reference(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = bruteforce_selfjoin(uniform_2d, eps_2d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_count_only_matches_materialized(self, uniform_3d, eps_3d):
+        count = bruteforce_count(uniform_3d, eps_3d)
+        full = bruteforce_selfjoin(uniform_3d, eps_3d)
+        assert count.num_pairs == full.num_pairs == full.result.num_pairs
+        assert count.result is None
+
+    def test_distance_calcs_quadratic(self, uniform_2d, eps_2d):
+        out = bruteforce_count(uniform_2d, eps_2d)
+        assert out.distance_calcs == uniform_2d.shape[0] ** 2
+
+    def test_chunking_does_not_change_result(self, uniform_2d, eps_2d):
+        a = bruteforce_selfjoin(uniform_2d, eps_2d, chunk_rows=17)
+        b = bruteforce_selfjoin(uniform_2d, eps_2d, chunk_rows=10_000)
+        assert a.result.same_pairs_as(b.result)
+
+    def test_exclude_self(self, uniform_2d, eps_2d):
+        with_self = bruteforce_selfjoin(uniform_2d, eps_2d, include_self=True)
+        without = bruteforce_selfjoin(uniform_2d, eps_2d, include_self=False)
+        assert with_self.num_pairs - without.num_pairs == uniform_2d.shape[0]
+
+    def test_eps_independence_of_work(self, uniform_2d):
+        small = bruteforce_count(uniform_2d, 0.1)
+        large = bruteforce_count(uniform_2d, 5.0)
+        assert small.distance_calcs == large.distance_calcs
+        assert small.num_pairs < large.num_pairs
+
+    def test_invalid_chunk_rows(self, uniform_2d, eps_2d):
+        with pytest.raises(ValueError):
+            bruteforce_selfjoin(uniform_2d, eps_2d, chunk_rows=0)
+
+    def test_numerical_robustness_identical_points(self):
+        pts = np.tile(np.array([[1e6, 1e6]]), (10, 1))
+        out = bruteforce_selfjoin(pts, 1e-9)
+        # All pairs have distance exactly zero; round-off must not lose them.
+        assert out.num_pairs == 100
+
+
+class TestKDTreeReference:
+    def test_self_pairs_included(self, uniform_2d, eps_2d):
+        ref = kdtree_selfjoin(uniform_2d, eps_2d)
+        assert ref.contains_all_self_pairs()
+        assert ref.is_symmetric()
+
+    def test_exclude_self(self, uniform_2d, eps_2d):
+        ref = kdtree_selfjoin(uniform_2d, eps_2d, include_self=False)
+        assert not np.any(ref.keys == ref.values)
+
+    def test_neighbor_count_helper(self, uniform_2d, eps_2d):
+        from repro.baselines.kdtree_ref import kdtree_neighbor_count
+        avg = kdtree_neighbor_count(uniform_2d, eps_2d)
+        ref = kdtree_selfjoin(uniform_2d, eps_2d, include_self=False)
+        assert avg == pytest.approx(ref.num_pairs / uniform_2d.shape[0])

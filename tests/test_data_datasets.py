@@ -1,0 +1,100 @@
+"""Tests for the Table I dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASETS,
+    REAL_WORLD_DATASETS,
+    SYN_10M_DATASETS,
+    SYN_2M_DATASETS,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistryContents:
+    def test_sixteen_datasets(self):
+        assert len(DATASETS) == 16
+
+    def test_groups_cover_registry(self):
+        grouped = set(REAL_WORLD_DATASETS) | set(SYN_2M_DATASETS) | set(SYN_10M_DATASETS)
+        assert grouped == set(DATASETS)
+
+    def test_paper_sizes_match_table1(self):
+        assert DATASETS["SW2DA"].paper_points == 1_864_620
+        assert DATASETS["SW2DB"].paper_points == 5_159_737
+        assert DATASETS["SDSS2DB"].paper_points == 15_228_633
+        assert DATASETS["Syn6D10M"].paper_points == 10_000_000
+
+    def test_dimensions_match_table1(self):
+        assert DATASETS["SW3DB"].n_dims == 3
+        assert DATASETS["SDSS2DA"].n_dims == 2
+        for d in range(2, 7):
+            assert DATASETS[f"Syn{d}D2M"].n_dims == d
+            assert DATASETS[f"Syn{d}D10M"].n_dims == d
+
+    def test_every_dataset_has_eps_sweep(self):
+        for spec in DATASETS.values():
+            assert len(spec.paper_eps) == 5
+            assert all(e > 0 for e in spec.paper_eps)
+
+    def test_figure_assignments(self):
+        assert DATASETS["SW2DA"].figure == "4a"
+        assert DATASETS["Syn4D2M"].figure == "5c"
+        assert DATASETS["Syn2D10M"].figure == "6a"
+
+    def test_list_datasets_by_family(self):
+        assert set(list_datasets("SW")) == {"SW2DA", "SW2DB", "SW3DA", "SW3DB"}
+        assert set(list_datasets("SDSS")) == {"SDSS2DA", "SDSS2DB"}
+        assert len(list_datasets("Syn")) == 10
+        assert len(list_datasets()) == 16
+
+
+class TestGenerationAndScaling:
+    def test_load_dataset_default_size(self):
+        pts = load_dataset("Syn3D2M")
+        spec = DATASETS["Syn3D2M"]
+        assert pts.shape == (spec.default_scaled_points, 3)
+
+    def test_load_dataset_custom_size(self):
+        pts = load_dataset("SW2DA", n_points=321)
+        assert pts.shape == (321, 2)
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("SDSS2DA", n_points=200, seed=1)
+        b = load_dataset("SDSS2DA", n_points=200, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("Syn9D1B")
+
+    def test_eps_scale_factor_density_rule(self):
+        spec = DATASETS["Syn2D2M"]
+        factor = spec.eps_scale_factor(n_points=20_000)
+        assert factor == pytest.approx((2_000_000 / 20_000) ** 0.5)
+
+    def test_scaled_eps_preserves_sweep_length(self):
+        spec = DATASETS["Syn5D2M"]
+        scaled = spec.scaled_eps(n_points=1000)
+        assert len(scaled) == len(spec.paper_eps)
+        assert all(s > p for s, p in zip(scaled, spec.paper_eps))
+
+    def test_scaled_eps_keeps_neighbor_profile(self):
+        # The density rule keeps the expected neighbor count of uniform data.
+        from repro.data.synthetic import expected_average_neighbors
+        spec = DATASETS["Syn3D2M"]
+        paper_eps = spec.paper_eps[2]
+        scaled_n = 2000
+        scaled_eps = paper_eps * spec.eps_scale_factor(scaled_n)
+        paper_expectation = expected_average_neighbors(spec.paper_points, 3, paper_eps)
+        scaled_expectation = expected_average_neighbors(scaled_n, 3, scaled_eps)
+        assert scaled_expectation == pytest.approx(paper_expectation, rel=0.01)
+
+    def test_generate_full_scale_not_required(self):
+        # Generating at paper scale is allowed by the API (but not done here).
+        spec = DATASETS["Syn2D2M"]
+        assert spec.paper_points > spec.default_scaled_points

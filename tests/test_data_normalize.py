@@ -1,0 +1,42 @@
+"""Tests for min-max normalization utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import denormalize_minmax, normalize_minmax
+
+
+class TestNormalize:
+    def test_per_dimension_fills_unit_cube(self, uniform_2d):
+        norm, offset, scale = normalize_minmax(uniform_2d, per_dimension=True)
+        assert norm.min(axis=0) == pytest.approx([0.0, 0.0])
+        assert norm.max(axis=0) == pytest.approx([1.0, 1.0])
+
+    def test_uniform_scale_preserves_aspect(self):
+        pts = np.array([[0.0, 0.0], [10.0, 1.0]])
+        norm, _, scale = normalize_minmax(pts, per_dimension=False)
+        # Both dimensions use the same scale (10), so dim 1 only reaches 0.1.
+        assert norm[:, 1].max() == pytest.approx(0.1)
+        assert np.all(scale == 10.0)
+
+    def test_round_trip(self, uniform_3d):
+        norm, offset, scale = normalize_minmax(uniform_3d)
+        back = denormalize_minmax(norm, offset, scale)
+        assert np.allclose(back, uniform_3d)
+
+    def test_degenerate_dimension(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        norm, _, scale = normalize_minmax(pts)
+        assert np.isfinite(norm).all()
+        assert norm[:, 1].max() == 0.0
+
+    def test_per_dimension_distorts_distances(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 1.0]])
+        norm, _, _ = normalize_minmax(pts, per_dimension=True)
+        # Originally d(0,1)=10 >> d(0,2)=1; per-dimension scaling makes them equal,
+        # which is exactly why SuperEGO in this reproduction uses a uniform scale.
+        d01 = np.linalg.norm(norm[0] - norm[1])
+        d02 = np.linalg.norm(norm[0] - norm[2])
+        assert d01 == pytest.approx(d02)

@@ -1,0 +1,68 @@
+"""Tests for the SW- and SDSS- surrogate generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gridindex import GridIndex
+from repro.data.realworld import sdss_dataset, sw_dataset
+from repro.data.synthetic import uniform_dataset
+
+
+class TestSWSurrogate:
+    def test_2d_shape_and_bounds(self):
+        pts = sw_dataset(2000, n_dims=2, seed=0)
+        assert pts.shape == (2000, 2)
+        assert pts[:, 0].min() >= -180.0 and pts[:, 0].max() <= 180.0
+        assert pts[:, 1].min() >= -85.0 and pts[:, 1].max() <= 85.0
+
+    def test_3d_has_positive_tec(self):
+        pts = sw_dataset(2000, n_dims=3, seed=0)
+        assert pts.shape == (2000, 3)
+        assert pts[:, 2].min() > 0.0
+
+    def test_tec_correlated_with_latitude(self):
+        pts = sw_dataset(20_000, n_dims=3, seed=1)
+        lat = np.abs(pts[:, 1])
+        tec = pts[:, 2]
+        low_lat = tec[lat < 20].mean()
+        high_lat = tec[lat > 50].mean()
+        assert low_lat > high_lat
+
+    def test_deterministic(self):
+        assert np.array_equal(sw_dataset(500, seed=3), sw_dataset(500, seed=3))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            sw_dataset(100, n_dims=4)
+
+    def test_clustered_relative_to_uniform(self):
+        sw = sw_dataset(3000, n_dims=2, seed=2)
+        uni = uniform_dataset(3000, 2, seed=2, low=-180, high=180)
+        eps = 5.0
+        assert (GridIndex.build(sw, eps).num_nonempty_cells
+                < GridIndex.build(uni, eps).num_nonempty_cells)
+
+
+class TestSDSSSurrogate:
+    def test_shape_and_footprint(self):
+        pts = sdss_dataset(3000, seed=0)
+        assert pts.shape == (3000, 2)
+        assert pts[:, 0].min() >= 110.0 and pts[:, 0].max() <= 260.0
+        assert pts[:, 1].min() >= -5.0 and pts[:, 1].max() <= 70.0
+
+    def test_deterministic(self):
+        assert np.array_equal(sdss_dataset(500, seed=7), sdss_dataset(500, seed=7))
+
+    def test_clustered_relative_to_uniform(self):
+        sdss = sdss_dataset(4000, seed=1)
+        rng = np.random.default_rng(1)
+        uni = np.stack([rng.uniform(110, 260, 4000), rng.uniform(-5, 70, 4000)], axis=1)
+        eps = 1.0
+        assert (GridIndex.build(sdss, eps).num_nonempty_cells
+                < GridIndex.build(uni, eps).num_nonempty_cells)
+
+    def test_different_sizes(self):
+        for n in (10, 100, 5000):
+            assert sdss_dataset(n, seed=0).shape == (n, 2)

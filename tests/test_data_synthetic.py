@@ -1,0 +1,124 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    eps_for_average_neighbors,
+    expected_average_neighbors,
+    exponential_dataset,
+    gaussian_clusters,
+    thomas_process,
+    uniform_dataset,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pts = uniform_dataset(1000, 3, seed=0)
+        assert pts.shape == (1000, 3)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 100.0
+        assert pts.dtype == np.float64
+
+    def test_deterministic_with_seed(self):
+        a = uniform_dataset(100, 2, seed=5)
+        b = uniform_dataset(100, 2, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_dataset(100, 2, seed=5)
+        b = uniform_dataset(100, 2, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_custom_range(self):
+        pts = uniform_dataset(500, 2, seed=0, low=-10.0, high=-5.0)
+        assert pts.min() >= -10.0
+        assert pts.max() <= -5.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            uniform_dataset(0, 2)
+        with pytest.raises(ValueError):
+            uniform_dataset(10, 0)
+        with pytest.raises(ValueError):
+            uniform_dataset(10, 2, low=5.0, high=5.0)
+
+    def test_roughly_uniform_marginals(self):
+        pts = uniform_dataset(20_000, 2, seed=1)
+        # Mean of U[0, 100] is 50; allow a generous tolerance.
+        assert abs(pts[:, 0].mean() - 50.0) < 2.0
+        assert abs(pts[:, 1].mean() - 50.0) < 2.0
+
+
+class TestClusteredGenerators:
+    def test_gaussian_clusters_shape(self):
+        pts = gaussian_clusters(800, 3, n_clusters=5, seed=2)
+        assert pts.shape == (800, 3)
+        assert np.isfinite(pts).all()
+
+    def test_gaussian_clusters_are_denser_than_uniform(self):
+        from repro.core.gridindex import GridIndex
+        uniform = uniform_dataset(2000, 2, seed=3)
+        clustered = gaussian_clusters(2000, 2, n_clusters=8, cluster_std=2.0, seed=3)
+        eps = 2.0
+        # Clustered data occupies fewer non-empty cells (the paper's argument
+        # for uniform data being the grid index's worst case).
+        assert (GridIndex.build(clustered, eps).num_nonempty_cells
+                < GridIndex.build(uniform, eps).num_nonempty_cells)
+
+    def test_gaussian_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(100, 2, n_clusters=0)
+
+    def test_exponential_positive(self):
+        pts = exponential_dataset(500, 2, scale=5.0, seed=1)
+        assert pts.min() >= 0.0
+        with pytest.raises(ValueError):
+            exponential_dataset(10, 2, scale=0.0)
+
+    def test_thomas_process_shape_and_bounds(self):
+        pts = thomas_process(1000, 2, seed=4)
+        assert pts.shape == (1000, 2)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 100.0
+
+    def test_thomas_process_clustered(self):
+        from repro.core.gridindex import GridIndex
+        clustered = thomas_process(2000, 2, cluster_std=0.5, seed=5,
+                                   background_fraction=0.0)
+        uniform = uniform_dataset(2000, 2, seed=5)
+        eps = 2.0
+        assert (GridIndex.build(clustered, eps).num_nonempty_cells
+                < GridIndex.build(uniform, eps).num_nonempty_cells)
+
+    def test_thomas_invalid_background(self):
+        with pytest.raises(ValueError):
+            thomas_process(100, 2, background_fraction=1.5)
+
+
+class TestNeighborExpectation:
+    def test_expected_neighbors_2d(self):
+        # Density 1999/100^2 per unit area times pi*eps^2.
+        expected = expected_average_neighbors(2000, 2, 1.0)
+        assert expected == pytest.approx(1999 / 10_000 * np.pi, rel=1e-6)
+
+    def test_inverse_round_trip(self):
+        for dims in (2, 3, 4):
+            eps = eps_for_average_neighbors(5.0, 10_000, dims)
+            back = expected_average_neighbors(10_000, dims, eps)
+            assert back == pytest.approx(5.0, rel=1e-9)
+
+    def test_empirical_agreement(self):
+        pts = uniform_dataset(5000, 2, seed=8)
+        eps = 2.0
+        from repro.baselines.kdtree_ref import kdtree_neighbor_count
+        empirical = kdtree_neighbor_count(pts, eps)
+        predicted = expected_average_neighbors(5000, 2, eps)
+        assert empirical == pytest.approx(predicted, rel=0.15)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            eps_for_average_neighbors(0.0, 100, 2)

@@ -1,0 +1,62 @@
+"""Tests for the dense-grid ablation index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.core.densegrid import DenseGridError, DenseGridIndex
+from repro.core.gridindex import GridIndex
+from repro.data.synthetic import uniform_dataset
+
+
+class TestDenseGridIndex:
+    def test_selfjoin_matches_reference(self, uniform_2d, eps_2d, reference_pairs_2d):
+        dense = DenseGridIndex.build(uniform_2d, eps_2d)
+        result = dense.selfjoin()
+        assert np.array_equal(result.canonical_pairs(), reference_pairs_2d)
+
+    def test_selfjoin_matches_reference_3d(self):
+        pts = uniform_dataset(300, 3, seed=1, low=0.0, high=6.0)
+        eps = 0.8
+        dense = DenseGridIndex.build(pts, eps)
+        expected = kdtree_selfjoin(pts, eps)
+        assert dense.selfjoin().same_pairs_as(expected)
+
+    def test_total_cells_includes_empty(self, uniform_2d, eps_2d):
+        dense = DenseGridIndex.build(uniform_2d, eps_2d)
+        sparse = GridIndex.build(uniform_2d, eps_2d)
+        assert dense.total_cells == sparse.total_cells
+        assert dense.total_cells >= sparse.num_nonempty_cells
+
+    def test_memory_grows_with_dimension_unlike_sparse(self):
+        """The paper's argument: dense grids blow up with dimensionality."""
+        sparse_sizes = []
+        dense_sizes = []
+        for dims in (2, 3, 4):
+            pts = uniform_dataset(400, dims, seed=dims, low=0.0, high=30.0)
+            eps = 1.5
+            sparse_sizes.append(GridIndex.build(pts, eps).memory_footprint())
+            dense_sizes.append(DenseGridIndex.build(pts, eps).memory_footprint())
+        # Sparse stays O(|D|)-ish; dense grows by orders of magnitude.
+        assert dense_sizes[2] > 50 * dense_sizes[0]
+        assert sparse_sizes[2] < 10 * sparse_sizes[0]
+
+    def test_cell_budget_enforced(self):
+        pts = uniform_dataset(200, 6, seed=5, low=0.0, high=100.0)
+        with pytest.raises(DenseGridError):
+            DenseGridIndex.build(pts, 1.0, max_cells=10_000)
+
+    def test_point_lookup_is_direct(self, uniform_2d, eps_2d):
+        dense = DenseGridIndex.build(uniform_2d, eps_2d)
+        sparse = GridIndex.build(uniform_2d, eps_2d)
+        for h in range(0, sparse.num_nonempty_cells, 37):
+            linear = int(sparse.B[h])
+            assert np.array_equal(np.sort(dense.points_in_cell(linear)),
+                                  np.sort(sparse.points_in_cell(h)))
+
+    def test_all_points_indexed(self, uniform_3d, eps_3d):
+        dense = DenseGridIndex.build(uniform_3d, eps_3d)
+        assert np.array_equal(np.sort(dense.A), np.arange(dense.num_points))
+        assert int(np.diff(dense.cell_offsets).sum()) == dense.num_points

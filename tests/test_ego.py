@@ -1,0 +1,108 @@
+"""Tests for the Epsilon-Grid-Order join (ego-sort and recursive join)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ego import (
+    EGOStats,
+    ego_join,
+    ego_sort,
+    make_context,
+    _can_prune,
+)
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.data.synthetic import gaussian_clusters, uniform_dataset
+
+
+class TestEgoSort:
+    def test_order_is_permutation(self, uniform_2d, eps_2d):
+        order, cells = ego_sort(uniform_2d, eps_2d)
+        assert np.array_equal(np.sort(order), np.arange(uniform_2d.shape[0]))
+        assert cells.shape == uniform_2d.shape
+
+    def test_cells_lexicographically_sorted(self, uniform_2d, eps_2d):
+        _, cells = ego_sort(uniform_2d, eps_2d)
+        # The sorted cell rows must be non-decreasing lexicographically.
+        for j in range(cells.shape[0] - 1):
+            a, b = cells[j], cells[j + 1]
+            assert tuple(a) <= tuple(b)
+
+    def test_cells_nonnegative(self, uniform_3d, eps_3d):
+        _, cells = ego_sort(uniform_3d, eps_3d)
+        assert cells.min() >= 0
+
+
+class TestEgoJoin:
+    def test_matches_reference_2d(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = ego_join(uniform_2d, eps_2d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_matches_reference_3d(self, uniform_3d, eps_3d, reference_pairs_3d):
+        out = ego_join(uniform_3d, eps_3d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_3d)
+
+    def test_matches_reference_5d(self, uniform_5d):
+        eps = 1.2
+        out = ego_join(uniform_5d, eps)
+        expected = kdtree_selfjoin(uniform_5d, eps)
+        assert out.result.same_pairs_as(expected)
+
+    def test_no_duplicate_pairs(self, uniform_2d, eps_2d):
+        out = ego_join(uniform_2d, eps_2d)
+        assert out.result.num_pairs == out.result.canonical_pairs().shape[0]
+
+    def test_clustered_data(self):
+        pts = gaussian_clusters(500, 2, n_clusters=4, cluster_std=1.0, seed=3)
+        eps = 0.8
+        out = ego_join(pts, eps)
+        expected = kdtree_selfjoin(pts, eps)
+        assert out.result.same_pairs_as(expected)
+
+    def test_small_threshold_still_correct(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = ego_join(uniform_2d, eps_2d, threshold=4)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_tiny_dataset(self):
+        pts = np.array([[0.0, 0.0], [0.2, 0.0], [5.0, 5.0]])
+        out = ego_join(pts, 0.5)
+        expected = kdtree_selfjoin(pts, 0.5)
+        assert out.result.same_pairs_as(expected)
+
+    def test_stats_counters(self, uniform_2d, eps_2d):
+        out = ego_join(uniform_2d, eps_2d)
+        assert out.stats.simple_joins > 0
+        assert out.stats.recursions > 0
+        assert out.stats.distance_calcs > 0
+        assert out.stats.result_pairs == out.result.num_pairs
+
+    def test_pruning_happens_on_spread_data(self):
+        # Two well-separated groups: the recursion must prune cross-group work.
+        rng = np.random.default_rng(5)
+        a = rng.uniform(0, 5, (200, 2))
+        b = rng.uniform(100, 105, (200, 2))
+        out = ego_join(np.vstack([a, b]), 0.5)
+        assert out.stats.prunes > 0
+        expected = kdtree_selfjoin(np.vstack([a, b]), 0.5)
+        assert out.result.same_pairs_as(expected)
+
+
+class TestPruneTest:
+    def test_prune_on_distant_ranges(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.5], [10.0, 10.0], [10.5, 10.5]])
+        ctx = make_context(pts, 1.0)
+        assert _can_prune(ctx, 0, 2, 2, 4)
+
+    def test_no_prune_on_adjacent_ranges(self):
+        pts = np.array([[0.0, 0.0], [0.9, 0.9], [1.1, 1.1], [1.9, 1.9]])
+        ctx = make_context(pts, 1.0)
+        assert not _can_prune(ctx, 0, 2, 2, 4)
+
+
+class TestEGOStats:
+    def test_merge(self):
+        a = EGOStats(simple_joins=1, prunes=2, recursions=3, distance_calcs=10)
+        b = EGOStats(simple_joins=4, prunes=1, recursions=2, distance_calcs=5)
+        a.merge(b)
+        assert (a.simple_joins, a.prunes, a.recursions, a.distance_calcs) == (5, 3, 5, 15)

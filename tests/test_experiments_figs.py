@@ -1,0 +1,126 @@
+"""Tests for the figure experiments (1, 4–9) at tiny scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig1, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.runner import ExperimentResult, TimingRecord
+
+
+class TestFig1:
+    def test_fig1a_rows(self):
+        rows = fig1.run_fig1a(n_points=300, dimensions=(2, 3))
+        assert len(rows) == 2
+        assert rows[0].dimension == 2
+        assert all(r.time_s > 0 for r in rows)
+        assert rows[0].avg_neighbors > rows[1].avg_neighbors
+
+    def test_fig1b_rows(self):
+        rows = fig1.run_fig1b(n_points=300, dimension=3, paper_eps=(4.0, 8.0))
+        assert len(rows) == 2
+        assert rows[1].eps > rows[0].eps
+        # More eps, more neighbors.
+        assert rows[1].avg_neighbors >= rows[0].avg_neighbors
+
+    def test_format_fig1(self):
+        rows_a = fig1.run_fig1a(n_points=200, dimensions=(2,))
+        rows_b = fig1.run_fig1b(n_points=200, dimension=2, paper_eps=(1.0,))
+        text = fig1.format_fig1(rows_a, rows_b)
+        assert "Figure 1a" in text and "Figure 1b" in text
+
+
+class TestResponseTimeFigures:
+    @pytest.mark.parametrize("module,dataset", [
+        (fig4, "SW2DA"),
+        (fig5, "Syn2D2M"),
+        (fig6, "Syn2D10M"),
+    ])
+    def test_run_and_format(self, module, dataset):
+        run = getattr(module, f"run_{module.__name__.split('.')[-1]}")
+        fmt = getattr(module, f"format_{module.__name__.split('.')[-1]}")
+        result = run(n_points=300, datasets=(dataset,),
+                     algorithms=("GPU", "GPU: unicomp"),
+                     eps_values={dataset: [2.0, 4.0]})
+        assert isinstance(result, ExperimentResult)
+        assert len(result.records) == 4
+        text = fmt(result)
+        assert dataset in text
+        assert "GPU: unicomp" in text
+
+
+def _synthetic_result() -> ExperimentResult:
+    """Hand-built records covering several datasets and algorithms."""
+    result = ExperimentResult()
+    data = {
+        ("SW2DA", 0.3): {"R-Tree": 10.0, "SuperEGO": 1.0, "GPU": 0.6, "GPU: unicomp": 0.5},
+        ("SW2DA", 0.6): {"R-Tree": 20.0, "SuperEGO": 2.0, "GPU": 1.2, "GPU: unicomp": 1.0},
+        ("Syn5D2M", 8.0): {"R-Tree": 50.0, "SuperEGO": 4.0, "GPU": 5.0, "GPU: unicomp": 2.0},
+    }
+    for (ds, eps), times in data.items():
+        for alg, t in times.items():
+            result.add(TimingRecord(ds, eps, alg, t))
+    return result
+
+
+class TestSpeedupFigures:
+    def test_fig7_speedups(self):
+        summary = fig7.speedups_from_result(_synthetic_result())
+        assert summary.speedups[("SW2DA", 0.3)] == pytest.approx(20.0)
+        assert summary.speedups[("Syn5D2M", 8.0)] == pytest.approx(25.0)
+        assert summary.average == pytest.approx((20 + 20 + 25) / 3)
+        assert summary.per_dataset_average["SW2DA"] == pytest.approx(20.0)
+        text = fig7.format_fig7(summary)
+        assert "26.9x" in text  # paper reference value is quoted
+
+    def test_fig7_requires_overlap(self):
+        empty = ExperimentResult()
+        empty.add(TimingRecord("x", 1.0, "GPU: unicomp", 1.0))
+        with pytest.raises(ValueError):
+            fig7.speedups_from_result(empty)
+
+    def test_fig8_speedups_and_extras(self):
+        summary = fig8.speedups_vs_superego(_synthetic_result())
+        assert summary.speedups[("SW2DA", 0.3)] == pytest.approx(2.0)
+        assert summary.speedups[("Syn5D2M", 8.0)] == pytest.approx(2.0)
+        real_avg = fig8.real_world_average(summary)
+        assert real_avg == pytest.approx(2.0)
+        assert fig8.slower_points(summary) == {}
+        text = fig8.format_fig8(summary)
+        assert "2.38x" in text
+
+    def test_fig8_detects_slower_points(self):
+        result = _synthetic_result()
+        result.add(TimingRecord("SW2DB", 0.1, "SuperEGO", 1.0))
+        result.add(TimingRecord("SW2DB", 0.1, "GPU: unicomp", 2.0))
+        summary = fig8.speedups_vs_superego(result)
+        slower = fig8.slower_points(summary)
+        assert ("SW2DB", 0.1) in slower
+
+    def test_fig9_ratios(self):
+        summary = fig9.ratios_from_result(_synthetic_result())
+        assert summary.ratios[("SW2DA", 0.3)] == pytest.approx(1.2)
+        assert summary.ratios[("Syn5D2M", 8.0)] == pytest.approx(2.5)
+        assert summary.max_ratio() == pytest.approx(2.5)
+        assert summary.min_ratio() == pytest.approx(1.2)
+        panel = summary.panel(("Syn5D2M",))
+        assert list(panel) == [("Syn5D2M", 8.0)]
+        text = fig9.format_fig9(summary)
+        assert "Figure 9" in text
+
+    def test_fig9_requires_both_variants(self):
+        partial = ExperimentResult()
+        partial.add(TimingRecord("x", 1.0, "GPU", 1.0))
+        with pytest.raises(ValueError):
+            fig9.ratios_from_result(partial)
+
+
+class TestEndToEndSmallRuns:
+    def test_run_fig7_tiny(self):
+        summary = fig7.run_fig7(n_points=250, datasets=("Syn2D2M",))
+        assert summary.average > 1.0  # GPU-SJ must beat the Python R-tree
+
+    def test_run_fig9_tiny(self):
+        summary = fig9.run_fig9(n_points=250, datasets=("Syn2D2M",))
+        assert len(summary.ratios) == 5
+        assert all(r > 0 for r in summary.ratios.values())

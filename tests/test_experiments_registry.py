@@ -1,0 +1,58 @@
+"""Tests for the experiment registry and the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_present(self):
+        expected = {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "table1", "table2"}
+        assert set(list_experiments()) == expected
+
+    def test_get_experiment(self):
+        exp = get_experiment("table1")
+        assert exp.experiment_id == "table1"
+        assert callable(exp.run)
+        assert callable(exp.render)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig42")
+
+    def test_descriptions_nonempty(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.description
+
+    def test_run_and_render_table1(self):
+        text = get_experiment("table1").run_and_render()
+        assert "Table I" in text
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--points", "500"])
+        assert args.experiment == "table1"
+        assert args.points == 500
+
+    def test_main_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_main_runs_fig5_tiny(self, capsys):
+        code = main(["fig5", "--points", "250", "--datasets", "Syn2D2M",
+                     "--algorithms", "GPU", "GPU: unicomp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Syn2D2M" in out
+
+    def test_main_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

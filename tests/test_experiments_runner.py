@@ -1,0 +1,111 @@
+"""Tests for the experiment runner (algorithm dispatch, timing records)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import uniform_dataset
+from repro.experiments.runner import (
+    ALGORITHMS,
+    EPS_INDEPENDENT,
+    ExperimentResult,
+    TimingRecord,
+    run_algorithm,
+    run_response_time_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_points():
+    return uniform_dataset(300, 2, seed=0, low=0.0, high=10.0)
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_runs(self, algorithm, tiny_points):
+        mean, std, pairs = run_algorithm(algorithm, tiny_points, 0.7, trials=1)
+        assert mean > 0.0
+        assert std >= 0.0
+        assert pairs > 0
+
+    def test_all_algorithms_agree_on_pair_count(self, tiny_points):
+        eps = 0.7
+        counts = {alg: run_algorithm(alg, tiny_points, eps)[2]
+                  for alg in ("R-Tree", "SuperEGO", "GPU", "GPU: unicomp",
+                              "GPU: Brute Force")}
+        assert len(set(counts.values())) == 1, counts
+
+    def test_unknown_algorithm(self, tiny_points):
+        with pytest.raises(ValueError):
+            run_algorithm("Quantum", tiny_points, 0.5)
+
+    def test_invalid_trials(self, tiny_points):
+        with pytest.raises(ValueError):
+            run_algorithm("GPU", tiny_points, 0.5, trials=0)
+
+    def test_multiple_trials_reported(self, tiny_points):
+        mean, std, _ = run_algorithm("GPU", tiny_points, 0.5, trials=2)
+        assert mean > 0.0
+        assert std >= 0.0
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        result = ExperimentResult()
+        result.add(TimingRecord("ds1", 0.5, "GPU", 1.0))
+        result.add(TimingRecord("ds1", 1.0, "GPU", 2.0))
+        result.add(TimingRecord("ds1", 0.5, "R-Tree", 10.0))
+        result.add(TimingRecord("ds2", 0.5, "GPU", 3.0))
+        return result
+
+    def test_algorithms_and_datasets(self):
+        result = self._result()
+        assert result.algorithms() == ["GPU", "R-Tree"]
+        assert result.datasets() == ["ds1", "ds2"]
+
+    def test_time_map(self):
+        time_map = self._result().time_map("GPU")
+        assert time_map[("ds1", 0.5)] == 1.0
+        assert ("ds1", 0.5) not in self._result().time_map("SuperEGO")
+
+    def test_series_sorted_by_eps(self):
+        result = self._result()
+        xs, ys = result.series("ds1", "GPU")
+        assert xs == [0.5, 1.0]
+        assert ys == [1.0, 2.0]
+
+    def test_to_rows(self):
+        rows = self._result().to_rows()
+        assert len(rows) == 4
+        assert rows[0][0] == "ds1"
+
+    def test_extend(self):
+        result = ExperimentResult()
+        result.extend([TimingRecord("x", 1.0, "GPU", 0.1)])
+        assert len(result.records) == 1
+
+
+class TestResponseTimeExperiment:
+    def test_small_sweep(self):
+        result = run_response_time_experiment(
+            ["Syn2D2M"], algorithms=("GPU", "GPU: unicomp"), n_points=400,
+            eps_values={"Syn2D2M": [3.0, 6.0]}, trials=1)
+        assert len(result.records) == 4
+        for rec in result.records:
+            assert rec.time_s > 0.0
+            assert rec.n_points == 400
+
+    def test_eps_independent_algorithms_run_once(self):
+        result = run_response_time_experiment(
+            ["Syn2D2M"], algorithms=("GPU: Brute Force", "GPU"), n_points=300,
+            eps_values={"Syn2D2M": [2.0, 4.0, 6.0]})
+        bf = [r for r in result.records if r.algorithm in EPS_INDEPENDENT]
+        gpu = [r for r in result.records if r.algorithm == "GPU"]
+        assert len(bf) == 1
+        assert len(gpu) == 3
+
+    def test_registry_eps_used_by_default(self):
+        result = run_response_time_experiment(["Syn2D2M"], algorithms=("GPU",),
+                                              n_points=300)
+        assert len(result.records) == 5  # the registry's 5-point eps sweep

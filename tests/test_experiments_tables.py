@@ -1,0 +1,105 @@
+"""Tests for the Table I and Table II experiments and the report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_cell, format_series, format_table
+from repro.experiments.table1 import format_table1, run_table1, table1_rows
+from repro.experiments.table2 import (
+    PAPER_OCCUPANCY,
+    TABLE2_CONFIGS,
+    Table2Row,
+    format_table2,
+    run_table2,
+)
+
+
+class TestTable1:
+    def test_sixteen_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 16
+
+    def test_columns(self):
+        rows = table1_rows(n_points=1234)
+        for name, paper_n, dims, scaled, factor, figure in rows:
+            assert paper_n > scaled
+            assert scaled == 1234
+            assert 2 <= dims <= 6
+            assert factor > 1.0
+            assert figure
+
+    def test_run_alias(self):
+        assert run_table1() == table1_rows()
+
+    def test_format(self):
+        text = format_table1(table1_rows())
+        assert "Table I" in text
+        assert "SW2DA" in text and "Syn6D10M" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(n_points=400, timing_repeats=1)
+
+    def test_four_rows(self, rows):
+        assert len(rows) == len(TABLE2_CONFIGS) == 4
+        assert [r.dataset for r in rows] == [c[0] for c in TABLE2_CONFIGS]
+
+    def test_occupancy_matches_paper(self, rows):
+        for row in rows:
+            expected_global, expected_unicomp = PAPER_OCCUPANCY[row.dataset]
+            assert row.occupancy_global == pytest.approx(expected_global)
+            assert row.occupancy_unicomp == pytest.approx(expected_unicomp)
+
+    def test_unicomp_lowers_occupancy(self, rows):
+        for row in rows:
+            assert row.occupancy_ratio < 1.0
+
+    def test_cache_utilization_positive(self, rows):
+        for row in rows:
+            assert row.cache_util_global > 0.0
+            assert row.cache_util_unicomp > 0.0
+            assert row.cache_ratio > 0.0
+
+    def test_response_ratio_positive(self, rows):
+        for row in rows:
+            assert row.response_time_ratio > 0.0
+
+    def test_format(self, rows):
+        text = format_table2(rows)
+        assert "Table II" in text
+        assert "ratio_cache" in text
+
+    def test_row_ratio_properties(self):
+        row = Table2Row(dataset="X", eps=1.0, response_time_ratio=2.0,
+                        occupancy_global=1.0, cache_util_global=100.0,
+                        occupancy_unicomp=0.75, cache_util_unicomp=150.0)
+        assert row.occupancy_ratio == pytest.approx(0.75)
+        assert row.cache_ratio == pytest.approx(1.5)
+        zero = Table2Row("X", 1.0, 1.0, 0.0, 0.0, 0.5, 1.0)
+        assert zero.occupancy_ratio == 0.0
+        assert zero.cache_ratio == 0.0
+
+
+class TestReportRenderer:
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.5) == "1.5000"
+        assert format_cell(12300.0) == "1.230e+04"
+        assert format_cell(0.00001) == "1.000e-05"
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "long_header"), [(1, 2.0), (333, 4.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("GPU", [0.5, 1.0], [0.1, 0.2])
+        assert text.startswith("GPU [eps -> time_s]")
+        assert "(0.5000, 0.1000)" in text

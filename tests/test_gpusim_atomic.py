@@ -1,0 +1,62 @@
+"""Tests for atomic counters and the append result buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import AppendBuffer, AtomicCounter, BufferOverflowError
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        counter = AtomicCounter()
+        assert counter.fetch_add(5) == 0
+        assert counter.fetch_add(3) == 5
+        assert counter.value == 8
+
+    def test_initial_value(self):
+        assert AtomicCounter(10).value == 10
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            AtomicCounter().fetch_add(-1)
+
+    def test_reset(self):
+        counter = AtomicCounter()
+        counter.fetch_add(7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestAppendBuffer:
+    def test_reserve_sequences(self):
+        buf = AppendBuffer(100)
+        assert buf.reserve(10) == 0
+        assert buf.reserve(20) == 10
+        assert buf.used == 30
+        assert buf.remaining == 70
+
+    def test_overflow_raises(self):
+        buf = AppendBuffer(16)
+        buf.reserve(10)
+        with pytest.raises(BufferOverflowError):
+            buf.reserve(7)
+
+    def test_exact_fill_allowed(self):
+        buf = AppendBuffer(8)
+        buf.reserve(8)
+        assert buf.remaining == 0
+
+    def test_reset_for_next_batch(self):
+        buf = AppendBuffer(8)
+        buf.reserve(8)
+        buf.reset()
+        assert buf.reserve(4) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AppendBuffer(0)
+
+    def test_negative_reserve_rejected(self):
+        with pytest.raises(ValueError):
+            AppendBuffer(4).reserve(-2)

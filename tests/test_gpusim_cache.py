@@ -1,0 +1,103 @@
+"""Tests for the set-associative unified-cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import SetAssociativeCache
+
+
+class TestCacheBasics:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(1024, line_bytes=64)
+        cache.access(0)
+        assert cache.access(56) is True  # same 64-byte line
+
+    def test_different_lines_miss(self):
+        cache = SetAssociativeCache(1024, line_bytes=64)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_straddling_access(self):
+        cache = SetAssociativeCache(1024, line_bytes=64)
+        cache.access(0)
+        # 8 bytes starting at 60 touch lines 0 (cached) and 1 (not cached).
+        assert cache.access(60, nbytes=8) is False
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(4096, line_bytes=64)
+        for _ in range(4):
+            cache.access(128)
+        assert cache.hit_rate == pytest.approx(3 / 4)
+
+    def test_bytes_served(self):
+        cache = SetAssociativeCache(4096)
+        cache.access(0)
+        cache.access(0)
+        assert cache.bytes_served_from_cache(8) == 8
+
+    def test_reset(self):
+        cache = SetAssociativeCache(1024)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+
+class TestEviction:
+    def test_lru_eviction_within_set(self):
+        # Direct construction: 2 sets * 2 ways * 64 B lines = 256 B cache.
+        cache = SetAssociativeCache(256, line_bytes=64, associativity=2)
+        assert cache.num_sets == 2
+        # Lines 0, 2, 4 all map to set 0; capacity 2 -> line 0 evicted.
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(4 * 64)
+        assert cache.access(0 * 64) is False
+
+    def test_lru_keeps_recently_used(self):
+        cache = SetAssociativeCache(256, line_bytes=64, associativity=2)
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(0 * 64)          # refresh line 0
+        cache.access(4 * 64)          # evicts line 2 (least recently used)
+        assert cache.access(0 * 64) is True
+        assert cache.access(2 * 64) is False
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, associativity=4)
+        # Cycle through 64 KiB of distinct lines twice: mostly misses.
+        for _ in range(2):
+            for addr in range(0, 64 * 1024, 64):
+                cache.access(addr)
+        assert cache.hit_rate < 0.05
+
+    def test_working_set_smaller_than_cache_hits(self):
+        cache = SetAssociativeCache(16 * 1024, line_bytes=64, associativity=4)
+        for _ in range(4):
+            for addr in range(0, 4 * 1024, 64):
+                cache.access(addr)
+        assert cache.hit_rate > 0.7
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, line_bytes=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, associativity=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(16, line_bytes=64)
+
+    def test_invalid_access_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024).access(0, nbytes=0)

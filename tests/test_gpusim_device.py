@@ -1,0 +1,109 @@
+"""Tests for the device model: spec, allocator, transfers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import Device, DeviceSpec, DeviceOutOfMemoryError, TITAN_X_PASCAL
+from repro.gpusim.memory import GlobalMemory
+
+
+class TestDeviceSpec:
+    def test_default_is_titan_x(self):
+        assert TITAN_X_PASCAL.name.startswith("TITAN X")
+        assert TITAN_X_PASCAL.global_mem_bytes == 12 * 1024 ** 3
+        assert TITAN_X_PASCAL.warp_size == 32
+
+    def test_max_warps_per_sm(self):
+        assert TITAN_X_PASCAL.max_warps_per_sm == 64
+
+    def test_custom_spec(self):
+        spec = DeviceSpec(name="tiny", global_mem_bytes=1024, sm_count=2)
+        assert Device(spec).spec.global_mem_bytes == 1024
+
+    def test_total_cores_hint(self):
+        assert TITAN_X_PASCAL.total_cores_hint == 28 * 128
+
+
+class TestDeviceAllocation:
+    def test_allocate_and_free(self):
+        device = Device()
+        alloc = device.allocate("points", 1000)
+        assert alloc.nbytes == 1000
+        assert device.used_bytes == 1000
+        device.free("points")
+        assert device.used_bytes == 0
+
+    def test_out_of_memory(self):
+        device = Device(DeviceSpec(global_mem_bytes=1000))
+        device.allocate("a", 800)
+        with pytest.raises(DeviceOutOfMemoryError):
+            device.allocate("b", 300)
+
+    def test_duplicate_name_rejected(self):
+        device = Device()
+        device.allocate("x", 10)
+        with pytest.raises(ValueError):
+            device.allocate("x", 10)
+
+    def test_free_all(self):
+        device = Device()
+        device.allocate("a", 10)
+        device.allocate("b", 20)
+        device.free_all()
+        assert device.used_bytes == 0
+        assert device.free_bytes == device.spec.global_mem_bytes
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Device().free("missing")
+
+    def test_allocation_lookup(self):
+        device = Device()
+        device.allocate("idx", 64)
+        assert device.allocation("idx").nbytes == 64
+
+
+class TestGlobalMemory:
+    def test_capacity_tracking(self):
+        mem = GlobalMemory(1000)
+        a = mem.allocate("a", 400)
+        assert mem.used_bytes == 400
+        assert mem.free_bytes == 600
+        mem.free(a)
+        assert mem.used_bytes == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(100).allocate("a", -1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(0)
+
+    def test_offsets_are_distinct(self):
+        mem = GlobalMemory(10_000)
+        a = mem.allocate("a", 100)
+        b = mem.allocate("b", 100)
+        assert b.offset >= a.end
+
+    def test_double_free_detected(self):
+        mem = GlobalMemory(1000)
+        a = mem.allocate("a", 600)
+        mem.free(a)
+        with pytest.raises(RuntimeError):
+            mem.free(a)
+
+    def test_transfer_time(self):
+        # 12 GB at 12 GB/s is one second.
+        assert GlobalMemory.transfer_time(12 * 10 ** 9, 12.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            GlobalMemory.transfer_time(10, 0.0)
+
+
+class TestTransfers:
+    def test_h2d_d2h_symmetric(self):
+        device = Device()
+        nbytes = 1 << 20
+        assert device.h2d_time(nbytes) == pytest.approx(device.d2h_time(nbytes))
+        assert device.h2d_time(nbytes) > 0.0

@@ -1,0 +1,148 @@
+"""Tests for the kernel launcher, thread contexts and warp divergence accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import AppendBuffer, Device, KernelLaunch
+from repro.gpusim.kernel import ThreadContext
+from repro.gpusim.cache import SetAssociativeCache
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.warp import WarpResult, execute_warp
+
+
+class TestKernelLaunch:
+    def test_thread_and_warp_counts(self):
+        launch = KernelLaunch(Device(), threads_per_block=256)
+        metrics = launch.launch(100, lambda ctx, gid: ctx.work(1))
+        assert metrics.threads_launched == 100
+        assert metrics.warps_executed == 4  # ceil(100 / 32)
+
+    def test_zero_threads(self):
+        metrics = KernelLaunch(Device()).launch(0, lambda ctx, gid: None)
+        assert metrics.threads_launched == 0
+        assert metrics.warps_executed == 0
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(Device()).launch(-1, lambda ctx, gid: None)
+
+    def test_invalid_threads_per_block(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(Device(), threads_per_block=4096)
+
+    def test_occupancy_recorded(self):
+        launch = KernelLaunch(Device(), threads_per_block=256, registers_per_thread=64)
+        metrics = launch.launch(10, lambda ctx, gid: None)
+        assert 0.0 < metrics.theoretical_occupancy < 1.0
+        assert metrics.registers_per_thread == 64
+
+    def test_uniform_work_has_no_divergence(self):
+        launch = KernelLaunch(Device())
+        metrics = launch.launch(64, lambda ctx, gid: ctx.work(5))
+        assert metrics.divergence_factor == pytest.approx(1.0)
+
+    def test_imbalanced_work_diverges(self):
+        def device_fn(ctx, gid):
+            ctx.work(100 if gid % 32 == 0 else 1)
+
+        metrics = KernelLaunch(Device()).launch(64, device_fn)
+        assert metrics.divergence_factor > 5.0
+        assert metrics.simd_efficiency < 0.2
+
+    def test_loads_routed_through_cache(self):
+        def device_fn(ctx, gid):
+            ctx.load("D", 0, 8)   # every thread reads the same element
+            ctx.work(1)
+
+        metrics = KernelLaunch(Device()).launch(64, device_fn)
+        assert metrics.global_loads == 64
+        assert metrics.cache_hits == 63
+        assert metrics.cache_misses == 1
+
+    def test_distinct_arrays_do_not_alias(self):
+        def device_fn(ctx, gid):
+            ctx.load("A", 0, 8)
+            ctx.load("B", 0, 8)
+
+        metrics = KernelLaunch(Device()).launch(1, device_fn)
+        assert metrics.cache_misses == 2
+
+    def test_emit_into_result_buffer(self):
+        buffer = AppendBuffer(100)
+        launch = KernelLaunch(Device(), result_buffer=buffer)
+        metrics = launch.launch(10, lambda ctx, gid: ctx.emit(2))
+        assert buffer.used == 20
+        assert metrics.results_emitted == 20
+
+
+class TestThreadContext:
+    def _ctx(self):
+        metrics = KernelMetrics()
+        cache = SetAssociativeCache(1024)
+        return ThreadContext(metrics=metrics, cache=cache, array_bases={})
+
+    def test_emit_without_buffer_counts_locally(self):
+        ctx = self._ctx()
+        assert ctx.emit(3) == 0
+        assert ctx.emit(2) == 3
+        assert ctx.emitted == 5
+
+    def test_load_tracks_bytes(self):
+        ctx = self._ctx()
+        ctx.load("D", 4, 16)
+        assert ctx.metrics.global_load_bytes == 16
+        assert ctx.metrics.global_loads == 1
+
+    def test_unknown_arrays_get_distinct_bases(self):
+        ctx = self._ctx()
+        ctx.load("X", 0)
+        ctx.load("Y", 0)
+        assert ctx.array_bases["X"] != ctx.array_bases["Y"]
+
+
+class TestWarpHelper:
+    def test_execute_warp_accounting(self):
+        metrics = KernelMetrics()
+        cache = SetAssociativeCache(1024)
+        contexts = [ThreadContext(metrics=metrics, cache=cache, array_bases={})
+                    for _ in range(4)]
+
+        def fn(ctx, gid):
+            ctx.work(gid + 1)
+
+        result = execute_warp(fn, [0, 1, 2, 3], contexts)
+        assert isinstance(result, WarpResult)
+        assert result.max_work == 4
+        assert result.total_work == 10
+        assert result.serialized_work == 16
+        assert result.divergence_factor == pytest.approx(1.6)
+
+    def test_empty_warp(self):
+        result = execute_warp(lambda ctx, gid: None, [], [])
+        assert result.lanes == 0
+        assert result.divergence_factor == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            execute_warp(lambda ctx, gid: None, [0], [])
+
+
+class TestKernelMetrics:
+    def test_merge(self):
+        a = KernelMetrics(global_loads=10, cache_hits=5, cache_misses=5,
+                          threads_launched=32, warps_executed=1,
+                          warp_serialized_work=40, warp_useful_work=30)
+        b = KernelMetrics(global_loads=6, cache_hits=6, cache_misses=0,
+                          threads_launched=32, warps_executed=1,
+                          warp_serialized_work=10, warp_useful_work=10)
+        a.merge(b)
+        assert a.global_loads == 16
+        assert a.cache_hits == 11
+        assert a.threads_launched == 64
+        assert a.divergence_factor == pytest.approx(50 / 40)
+
+    def test_default_ratios(self):
+        metrics = KernelMetrics()
+        assert metrics.divergence_factor == 1.0
+        assert metrics.cache_hit_rate == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the theoretical-occupancy calculator and the register model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import theoretical_occupancy
+from repro.gpusim.occupancy import estimate_registers_per_thread
+
+
+class TestOccupancyCalculator:
+    def test_full_occupancy_low_registers(self):
+        occ = theoretical_occupancy(threads_per_block=256, registers_per_thread=32)
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.blocks_per_sm == 8
+
+    def test_registers_limit_occupancy(self):
+        occ = theoretical_occupancy(threads_per_block=256, registers_per_thread=128)
+        assert occ.occupancy < 1.0
+        assert occ.limiting_factor == "registers"
+
+    def test_shared_memory_limit(self):
+        occ = theoretical_occupancy(threads_per_block=256, registers_per_thread=32,
+                                    shared_mem_per_block=48 * 1024)
+        assert occ.limiting_factor == "shared_memory"
+        assert occ.blocks_per_sm == 2
+
+    def test_occupancy_monotone_in_registers(self):
+        occs = [theoretical_occupancy(256, r).occupancy for r in (32, 48, 64, 96, 128)]
+        assert all(a >= b for a, b in zip(occs, occs[1:]))
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            theoretical_occupancy(0, 32)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(2048, 32)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(256, 0)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(256, 300)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(256, 32, shared_mem_per_block=10 ** 6)
+
+    def test_small_blocks_limited_by_block_count(self):
+        occ = theoretical_occupancy(threads_per_block=32, registers_per_thread=32)
+        # 64 warps / 1 warp-per-block would need 64 blocks but only 32 fit.
+        assert occ.blocks_per_sm == 32
+        assert occ.occupancy == pytest.approx(0.5)
+
+
+class TestTable2OccupancyTargets:
+    """The register model must reproduce the paper's Table II occupancy values."""
+
+    @pytest.mark.parametrize("n_dims,unicomp,expected", [
+        (2, False, 1.0),
+        (2, True, 0.75),
+        (5, False, 0.625),
+        (5, True, 0.50),
+        (6, False, 0.625),
+        (6, True, 0.50),
+    ])
+    def test_paper_values(self, n_dims, unicomp, expected):
+        regs = estimate_registers_per_thread(n_dims, unicomp)
+        occ = theoretical_occupancy(threads_per_block=256, registers_per_thread=regs)
+        assert occ.occupancy == pytest.approx(expected)
+
+    def test_registers_grow_with_dimension(self):
+        values = [estimate_registers_per_thread(d, False) for d in range(2, 7)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_unicomp_uses_more_registers(self):
+        for d in range(2, 7):
+            assert estimate_registers_per_thread(d, True) > \
+                estimate_registers_per_thread(d, False)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            estimate_registers_per_thread(0, False)

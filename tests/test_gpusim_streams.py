@@ -1,0 +1,66 @@
+"""Tests for the stream/transfer pipeline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import simulate_pipeline
+
+
+class TestPipelineModel:
+    def test_serial_equals_sum(self):
+        report = simulate_pipeline([1.0, 1.0, 1.0], [12e9, 12e9, 12e9],
+                                   pcie_bandwidth_gbps=12.0, n_streams=1)
+        # Each transfer takes 1 s at 12 GB/s.
+        assert report.serial_time == pytest.approx(6.0)
+        assert report.overlapped_time == pytest.approx(6.0)
+        assert report.overlap_speedup == pytest.approx(1.0)
+
+    def test_overlap_hides_transfers(self):
+        report = simulate_pipeline([1.0, 1.0, 1.0], [12e9, 12e9, 12e9],
+                                   pcie_bandwidth_gbps=12.0, n_streams=3)
+        # Transfers of batch i overlap with compute of batch i+1: only the
+        # last transfer is exposed.
+        assert report.overlapped_time == pytest.approx(4.0)
+        assert report.overlap_speedup == pytest.approx(1.5)
+
+    def test_transfer_bound_pipeline(self):
+        report = simulate_pipeline([0.1] * 4, [24e9] * 4,
+                                   pcie_bandwidth_gbps=12.0, n_streams=3)
+        # Transfers (2 s each) dominate; makespan ~ first compute + 4 transfers.
+        assert report.overlapped_time == pytest.approx(0.1 + 8.0)
+        assert report.transfer_time == pytest.approx(8.0)
+
+    def test_overlap_never_slower_than_serial(self):
+        for computes, transfers in [([0.5, 0.2, 0.9], [1e9, 5e9, 2e9]),
+                                    ([0.1] * 5, [1e8] * 5)]:
+            serial = simulate_pipeline(computes, transfers, n_streams=1)
+            overlapped = simulate_pipeline(computes, transfers, n_streams=3)
+            assert overlapped.overlapped_time <= serial.serial_time + 1e-12
+
+    def test_overlap_not_better_than_bound(self):
+        report = simulate_pipeline([1.0, 2.0, 0.5], [6e9, 3e9, 9e9],
+                                   pcie_bandwidth_gbps=12.0, n_streams=3)
+        bound = max(report.compute_time, report.transfer_time)
+        assert report.overlapped_time >= bound - 1e-12
+        assert report.overlap_efficiency <= 1.0 + 1e-12
+
+    def test_empty_pipeline(self):
+        report = simulate_pipeline([], [], n_streams=3)
+        assert report.n_batches == 0
+        assert report.serial_time == 0.0
+        assert report.overlapped_time == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            simulate_pipeline([1.0], [1e9, 2e9])
+
+    def test_invalid_stream_count(self):
+        with pytest.raises(ValueError):
+            simulate_pipeline([1.0], [1e9], n_streams=0)
+
+    def test_single_batch(self):
+        report = simulate_pipeline([2.0], [12e9], pcie_bandwidth_gbps=12.0,
+                                   n_streams=3)
+        assert report.overlapped_time == pytest.approx(3.0)
+        assert report.overlap_speedup == pytest.approx(1.0)

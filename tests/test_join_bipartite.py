@@ -1,0 +1,121 @@
+"""Tests for the bipartite similarity join and the range-query wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.core.gridindex import GridIndex
+from repro.core.join import range_query, similarity_join
+from repro.data.synthetic import gaussian_clusters, uniform_dataset
+
+
+def reference_join(left, right, eps):
+    """Ground-truth bipartite pairs via a KD-tree over the right-hand side."""
+    tree = cKDTree(right)
+    pairs = []
+    for i, point in enumerate(left):
+        for j in tree.query_ball_point(point, eps):
+            pairs.append((i, j))
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.unique(np.asarray(pairs, dtype=np.int64), axis=0)
+
+
+class TestSimilarityJoin:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_matches_reference(self, dims):
+        left = uniform_dataset(150, dims, seed=dims, low=0.0, high=8.0)
+        right = uniform_dataset(200, dims, seed=dims + 10, low=0.0, high=8.0)
+        eps = 0.9
+        out = similarity_join(left, right, eps)
+        assert np.array_equal(out.result.canonical_pairs(),
+                              reference_join(left, right, eps))
+
+    def test_disjoint_extents_have_no_pairs(self):
+        left = uniform_dataset(100, 2, seed=0, low=0.0, high=5.0)
+        right = uniform_dataset(100, 2, seed=1, low=50.0, high=55.0)
+        out = similarity_join(left, right, 1.0)
+        assert out.result.num_pairs == 0
+
+    def test_queries_outside_index_extent(self):
+        # Left points straddle and exceed the right extent; matches must still
+        # be exact (clipping at the grid boundary must not lose pairs).
+        right = uniform_dataset(200, 2, seed=2, low=0.0, high=10.0)
+        rng = np.random.default_rng(3)
+        left = rng.uniform(-5.0, 15.0, size=(150, 2))
+        eps = 1.2
+        out = similarity_join(left, right, eps)
+        assert np.array_equal(out.result.canonical_pairs(),
+                              reference_join(left, right, eps))
+
+    def test_self_join_as_bipartite(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = similarity_join(uniform_2d, uniform_2d, eps_2d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_prebuilt_index_reused(self):
+        right = uniform_dataset(300, 3, seed=4, low=0.0, high=6.0)
+        left = uniform_dataset(100, 3, seed=5, low=0.0, high=6.0)
+        eps = 0.8
+        index = GridIndex.build(right, eps)
+        out = similarity_join(left, right, eps, index=index)
+        assert np.array_equal(out.result.canonical_pairs(),
+                              reference_join(left, right, eps))
+
+    def test_index_mismatch_rejected(self):
+        right = uniform_dataset(50, 2, seed=6)
+        wrong_index = GridIndex.build(uniform_dataset(60, 2, seed=7), 1.0)
+        with pytest.raises(ValueError):
+            similarity_join(right, right, 1.0, index=wrong_index)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_join(uniform_dataset(10, 2, seed=0),
+                            uniform_dataset(10, 3, seed=0), 1.0)
+
+    def test_stats_populated(self):
+        left = uniform_dataset(100, 2, seed=8, low=0.0, high=5.0)
+        right = gaussian_clusters(200, 2, n_clusters=4, cluster_std=0.8, seed=8)
+        out = similarity_join(left, right, 1.0)
+        assert out.stats.result_pairs == out.result.num_pairs
+        assert out.stats.distance_calcs >= out.result.num_pairs
+        assert out.stats.cells_checked > 0
+
+    def test_small_chunk_limit(self):
+        left = uniform_dataset(120, 2, seed=9, low=0.0, high=4.0)
+        right = uniform_dataset(150, 2, seed=10, low=0.0, high=4.0)
+        eps = 0.8
+        big = similarity_join(left, right, eps)
+        small = similarity_join(left, right, eps, max_candidate_pairs=32)
+        assert np.array_equal(big.result.canonical_pairs(),
+                              small.result.canonical_pairs())
+
+    def test_pairs_of_left_helper(self):
+        left = np.array([[0.0, 0.0], [10.0, 10.0]])
+        right = np.array([[0.1, 0.0], [0.0, 0.2], [9.9, 10.0]])
+        out = similarity_join(left, right, 0.5)
+        assert out.result.pairs_of_left(0).tolist() == [0, 1]
+        assert out.result.pairs_of_left(1).tolist() == [2]
+
+
+class TestRangeQuery:
+    def test_matches_kdtree_ball_queries(self):
+        data = uniform_dataset(400, 2, seed=11, low=0.0, high=10.0)
+        queries = uniform_dataset(60, 2, seed=12, low=0.0, high=10.0)
+        eps = 1.0
+        got = range_query(data, queries, eps)
+        tree = cKDTree(data)
+        for q, ids in enumerate(got):
+            expected = np.asarray(sorted(tree.query_ball_point(queries[q], eps)),
+                                  dtype=np.int64)
+            assert np.array_equal(ids, expected)
+
+    def test_one_list_per_query(self):
+        data = uniform_dataset(100, 3, seed=13, low=0.0, high=5.0)
+        queries = data[:7]
+        got = range_query(data, queries, 0.5)
+        assert len(got) == 7
+        # Querying the dataset's own points: each result contains the point.
+        for q, ids in enumerate(got):
+            assert q in ids.tolist()

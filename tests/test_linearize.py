@@ -1,0 +1,114 @@
+"""Unit tests for cell-coordinate computation and linearization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import linearize as lin
+
+
+class TestGridBounds:
+    def test_bounds_are_padded_by_eps(self):
+        points = np.array([[0.0, 2.0], [4.0, 6.0]])
+        gmin, gmax = lin.compute_grid_bounds(points, eps=1.0)
+        assert np.allclose(gmin, [-1.0, 1.0])
+        assert np.allclose(gmax, [5.0, 7.0])
+
+    def test_bounds_single_point(self):
+        points = np.array([[3.0, 3.0, 3.0]])
+        gmin, gmax = lin.compute_grid_bounds(points, eps=0.5)
+        assert np.allclose(gmax - gmin, 1.0)
+
+    def test_num_cells_ceil(self):
+        gmin = np.array([0.0])
+        gmax = np.array([10.5])
+        assert lin.compute_num_cells(gmin, gmax, 1.0)[0] == 11
+
+    def test_num_cells_exact_division(self):
+        gmin = np.array([0.0, 0.0])
+        gmax = np.array([10.0, 5.0])
+        assert lin.compute_num_cells(gmin, gmax, 1.0).tolist() == [10, 5]
+
+    def test_num_cells_degenerate_dimension(self):
+        gmin = np.array([0.0, 5.0])
+        gmax = np.array([10.0, 5.0])
+        num = lin.compute_num_cells(gmin, gmax, 1.0)
+        assert num[1] >= 1
+
+
+class TestStrides:
+    def test_row_major_strides(self):
+        strides = lin.compute_strides(np.array([4, 5, 6]))
+        assert strides.tolist() == [30, 6, 1]
+
+    def test_single_dimension(self):
+        assert lin.compute_strides(np.array([7])).tolist() == [1]
+
+    def test_total_cells(self):
+        assert lin.total_cells(np.array([4, 5, 6])) == 120
+
+    def test_overflow_raises(self):
+        huge = np.array([2 ** 21] * 3)
+        # 2^63 cells: must raise rather than silently overflow int64.
+        with pytest.raises(lin.GridOverflowError):
+            lin.compute_strides(np.concatenate([huge, np.array([2 ** 21])]))
+
+    def test_nonpositive_cells_raises(self):
+        with pytest.raises(ValueError):
+            lin.compute_strides(np.array([4, 0]))
+
+
+class TestCellCoords:
+    def test_coords_basic(self):
+        points = np.array([[0.0, 0.0], [1.5, 2.5]])
+        gmin = np.array([0.0, 0.0])
+        num_cells = np.array([10, 10])
+        coords = lin.compute_cell_coords(points, gmin, 1.0, num_cells)
+        assert coords.tolist() == [[0, 0], [1, 2]]
+
+    def test_coords_clipped_to_grid(self):
+        points = np.array([[10.0]])
+        coords = lin.compute_cell_coords(points, np.array([0.0]), 1.0, np.array([10]))
+        assert coords[0, 0] == 9
+
+    def test_coords_negative_origin(self):
+        points = np.array([[-0.5], [0.5]])
+        coords = lin.compute_cell_coords(points, np.array([-1.0]), 1.0, np.array([3]))
+        assert coords[:, 0].tolist() == [0, 1]
+
+    def test_coords_dtype_is_int64(self):
+        points = np.random.default_rng(0).uniform(0, 5, (10, 3))
+        coords = lin.compute_cell_coords(points, np.zeros(3), 0.5, np.array([10, 10, 10]))
+        assert coords.dtype == np.int64
+
+
+class TestLinearizeRoundTrip:
+    def test_linearize_matches_manual(self):
+        num_cells = np.array([3, 4])
+        strides = lin.compute_strides(num_cells)
+        coords = np.array([[2, 3], [0, 0], [1, 2]])
+        linear = lin.linearize(coords, strides)
+        assert linear.tolist() == [2 * 4 + 3, 0, 1 * 4 + 2]
+
+    def test_delinearize_inverts_linearize(self):
+        num_cells = np.array([5, 7, 3])
+        strides = lin.compute_strides(num_cells)
+        rng = np.random.default_rng(1)
+        coords = np.stack([rng.integers(0, c, size=50) for c in num_cells], axis=1)
+        linear = lin.linearize(coords, strides)
+        back = lin.delinearize(linear, num_cells)
+        assert np.array_equal(back, coords)
+
+    def test_linear_ids_unique_per_cell(self):
+        num_cells = np.array([4, 4, 4])
+        strides = lin.compute_strides(num_cells)
+        grids = np.meshgrid(*[np.arange(4)] * 3, indexing="ij")
+        coords = np.stack([g.ravel() for g in grids], axis=1)
+        linear = lin.linearize(coords, strides)
+        assert np.unique(linear).shape[0] == 64
+
+    def test_linearize_scalar_shape(self):
+        strides = lin.compute_strides(np.array([10, 10]))
+        single = lin.linearize(np.array([3, 4]), strides)
+        assert np.isscalar(single) or single.shape == ()

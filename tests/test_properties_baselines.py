@@ -1,0 +1,140 @@
+"""Property-based tests for the baselines and supporting structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.bruteforce import bruteforce_selfjoin
+from repro.baselines.ego import ego_join, ego_sort
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.baselines.rtree import RTree
+from repro.core.result import ResultSet
+from repro.core.unicomp import unicomp_evaluates
+from repro.gpusim import AppendBuffer, BufferOverflowError, simulate_pipeline
+
+coordinate = st.floats(min_value=-30.0, max_value=30.0,
+                       allow_nan=False, allow_infinity=False, width=64)
+
+
+def point_sets(max_points=50, max_dims=3):
+    return st.integers(1, max_dims).flatmap(
+        lambda dims: hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, max_points), st.just(dims)),
+            elements=coordinate,
+        )
+    )
+
+
+eps_values = st.floats(min_value=0.1, max_value=8.0,
+                       allow_nan=False, allow_infinity=False)
+
+
+class TestEGOProperties:
+    @given(points=point_sets(), eps=eps_values)
+    @settings(max_examples=40, deadline=None)
+    def test_ego_matches_bruteforce(self, points, eps):
+        ego = ego_join(points, eps)
+        brute = bruteforce_selfjoin(points, eps)
+        assert ego.result.same_pairs_as(brute.result)
+
+    @given(points=point_sets(), eps=eps_values)
+    @settings(max_examples=40, deadline=None)
+    def test_ego_sort_is_lexicographic_permutation(self, points, eps):
+        order, cells = ego_sort(points, eps)
+        assert np.array_equal(np.sort(order), np.arange(points.shape[0]))
+        as_tuples = [tuple(row) for row in cells]
+        assert as_tuples == sorted(as_tuples)
+
+
+class TestRTreeProperties:
+    @given(points=point_sets(max_points=40), radius=eps_values)
+    @settings(max_examples=30, deadline=None)
+    def test_sphere_query_matches_bruteforce(self, points, radius):
+        tree = RTree.bulk_load(points, max_entries=8)
+        tree.validate()
+        center = points[0]
+        within, _, _ = tree.range_query_sphere(center, radius, points)
+        dist = np.linalg.norm(points - center, axis=1)
+        assert np.array_equal(np.sort(within), np.flatnonzero(dist <= radius))
+
+    @given(points=point_sets(max_points=30))
+    @settings(max_examples=25, deadline=None)
+    def test_dynamic_insert_preserves_structure(self, points):
+        tree = RTree(n_dims=points.shape[1], max_entries=4)
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        tree.validate()
+        assert np.array_equal(tree.all_point_ids(), np.arange(points.shape[0]))
+
+
+class TestUnicompRuleProperty:
+    @given(coords=hnp.arrays(dtype=np.int64, shape=st.tuples(st.integers(1, 5)),
+                             elements=st.integers(0, 100)),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_exactly_one_direction_selected(self, coords, data):
+        n = coords.shape[0]
+        offset = np.array(data.draw(st.lists(st.sampled_from([-1, 0, 1]),
+                                             min_size=n, max_size=n)), dtype=np.int64)
+        if not offset.any():
+            return
+        forward = unicomp_evaluates(coords, offset)
+        backward = unicomp_evaluates(coords + offset, -offset)
+        assert forward != backward
+
+
+class TestResultSetProperties:
+    @given(pairs=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                          max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_neighbor_table_round_trip(self, pairs):
+        result = ResultSet.from_pairs(pairs, num_points=20)
+        table = result.to_neighbor_table()
+        table.validate()
+        assert table.num_pairs == result.num_pairs
+        rebuilt = {(int(i), int(v)) for i in range(20) for v in table.neighbors_of(i)}
+        assert rebuilt == set(pairs)
+
+    @given(pairs=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                          max_size=40),
+           split=st.integers(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_concatenation(self, pairs, split):
+        split = min(split, len(pairs))
+        a = ResultSet.from_pairs(pairs[:split], num_points=10)
+        b = ResultSet.from_pairs(pairs[split:], num_points=10)
+        merged = ResultSet.merge([a, b])
+        assert merged.num_pairs == len(pairs)
+        assert merged.same_pairs_as(ResultSet.from_pairs(pairs, num_points=10))
+
+
+class TestGpusimProperties:
+    @given(reservations=st.lists(st.integers(0, 20), max_size=30),
+           capacity=st.integers(1, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_append_buffer_never_exceeds_capacity(self, reservations, capacity):
+        buffer = AppendBuffer(capacity)
+        accepted = 0
+        for count in reservations:
+            try:
+                start = buffer.reserve(count)
+            except BufferOverflowError:
+                break
+            assert start == accepted
+            accepted += count
+            assert start + count <= capacity
+        assert accepted <= capacity
+
+    @given(computes=st.lists(st.floats(0.001, 5.0), min_size=1, max_size=10),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_bounds(self, computes, data):
+        transfers = data.draw(st.lists(st.integers(0, 10 ** 9),
+                                       min_size=len(computes), max_size=len(computes)))
+        report = simulate_pipeline(computes, transfers, n_streams=3)
+        bound = max(report.compute_time, report.transfer_time)
+        assert report.overlapped_time >= bound - 1e-9
+        assert report.overlapped_time <= report.serial_time + 1e-9

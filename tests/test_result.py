@@ -1,0 +1,123 @@
+"""Unit tests for ResultSet and NeighborTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import NeighborTable, ResultSet
+
+
+def make_result(pairs, n):
+    return ResultSet.from_pairs(pairs, num_points=n)
+
+
+class TestResultSetBasics:
+    def test_empty(self):
+        r = ResultSet.empty(5)
+        assert r.num_pairs == 0
+        assert r.neighbor_counts().tolist() == [0] * 5
+
+    def test_from_pairs(self):
+        r = make_result([(0, 1), (1, 0), (2, 2)], 3)
+        assert r.num_pairs == 3
+        assert r.num_points == 3
+
+    def test_neighbor_counts(self):
+        r = make_result([(0, 1), (0, 2), (2, 0)], 4)
+        assert r.neighbor_counts().tolist() == [2, 0, 1, 0]
+
+    def test_average_neighbors_excludes_self(self):
+        r = make_result([(0, 0), (1, 1), (0, 1), (1, 0)], 2)
+        assert r.average_neighbors() == pytest.approx(2.0)
+        assert r.average_neighbors(exclude_self=True) == pytest.approx(1.0)
+
+    def test_sort_orders_by_key_then_value(self):
+        r = make_result([(2, 1), (0, 5), (0, 2), (2, 0)], 3)
+        s = r.sort()
+        assert s.keys.tolist() == [0, 0, 2, 2]
+        assert s.values.tolist() == [2, 5, 0, 1]
+
+    def test_merge(self):
+        a = make_result([(0, 1)], 3)
+        b = make_result([(1, 2), (2, 0)], 3)
+        merged = ResultSet.merge([a, b])
+        assert merged.num_pairs == 3
+
+    def test_merge_requires_same_num_points(self):
+        a = make_result([(0, 1)], 3)
+        b = make_result([(0, 1)], 4)
+        with pytest.raises(ValueError):
+            ResultSet.merge([a, b])
+
+    def test_merge_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            ResultSet.merge([])
+
+
+class TestResultSetPredicates:
+    def test_canonical_pairs_deduplicates(self):
+        r = make_result([(0, 1), (0, 1), (1, 0)], 2)
+        assert r.canonical_pairs().shape == (2, 2)
+
+    def test_same_pairs_as_ignores_order_and_duplicates(self):
+        a = make_result([(0, 1), (1, 0)], 2)
+        b = make_result([(1, 0), (0, 1), (0, 1)], 2)
+        assert a.same_pairs_as(b)
+
+    def test_same_pairs_as_detects_difference(self):
+        a = make_result([(0, 1)], 3)
+        b = make_result([(0, 2)], 3)
+        assert not a.same_pairs_as(b)
+
+    def test_is_symmetric(self):
+        assert make_result([(0, 1), (1, 0)], 2).is_symmetric()
+        assert not make_result([(0, 1)], 2).is_symmetric()
+
+    def test_contains_all_self_pairs(self):
+        assert make_result([(0, 0), (1, 1)], 2).contains_all_self_pairs()
+        assert not make_result([(0, 0)], 2).contains_all_self_pairs()
+
+    def test_without_self_pairs(self):
+        r = make_result([(0, 0), (0, 1), (1, 1)], 2).without_self_pairs()
+        assert r.num_pairs == 1
+        assert r.keys.tolist() == [0]
+
+
+class TestNeighborTable:
+    def test_round_trip(self):
+        r = make_result([(0, 1), (0, 2), (1, 0), (2, 0), (2, 2)], 3)
+        table = r.to_neighbor_table()
+        table.validate()
+        assert table.neighbors_of(0).tolist() == [1, 2]
+        assert table.neighbors_of(1).tolist() == [0]
+        assert table.neighbors_of(2).tolist() == [0, 2]
+
+    def test_counts_and_degree(self):
+        table = make_result([(0, 1), (0, 2), (2, 0)], 3).to_neighbor_table()
+        assert table.counts().tolist() == [2, 0, 1]
+        assert table.degree(0) == 2
+        assert table.degree(1) == 0
+
+    def test_num_pairs(self):
+        table = make_result([(0, 1), (1, 0)], 2).to_neighbor_table()
+        assert table.num_pairs == 2
+
+    def test_out_of_range_raises(self):
+        table = make_result([(0, 1)], 2).to_neighbor_table()
+        with pytest.raises(IndexError):
+            table.neighbors_of(2)
+        with pytest.raises(IndexError):
+            table.neighbors_of(-1)
+
+    def test_empty_table(self):
+        table = ResultSet.empty(4).to_neighbor_table()
+        table.validate()
+        assert table.num_pairs == 0
+        assert table.neighbors_of(3).size == 0
+
+    def test_validate_catches_bad_offsets(self):
+        table = NeighborTable(offsets=np.array([0, 2, 1]),
+                              neighbors=np.array([0, 1]), num_points=2)
+        with pytest.raises(AssertionError):
+            table.validate()

@@ -1,0 +1,175 @@
+"""Tests for the from-scratch R-tree (structure, queries, bulk loading)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import Rect, RTree, sort_for_insertion
+from repro.data.synthetic import uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def points_2d():
+    return uniform_dataset(400, 2, seed=9, low=0.0, high=10.0)
+
+
+@pytest.fixture(scope="module")
+def points_4d():
+    return uniform_dataset(300, 4, seed=10, low=0.0, high=5.0)
+
+
+class TestRect:
+    def test_area_and_margin(self):
+        rect = Rect(low=np.array([0.0, 0.0]), high=np.array([2.0, 3.0]))
+        assert rect.area() == pytest.approx(6.0)
+        assert rect.margin() == pytest.approx(5.0)
+
+    def test_union(self):
+        a = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = Rect(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        u = a.union(b)
+        assert u.low.tolist() == [0.0, -1.0]
+        assert u.high.tolist() == [3.0, 1.0]
+
+    def test_enlargement(self):
+        a = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = Rect.from_point(np.array([2.0, 0.5]))
+        assert a.enlargement(b) == pytest.approx(1.0)
+        assert a.enlargement(Rect.from_point(np.array([0.5, 0.5]))) == pytest.approx(0.0)
+
+    def test_intersects(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        assert rect.intersects(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+        assert rect.intersects(np.array([2.0, 2.0]), np.array([3.0, 3.0]))  # touching
+        assert not rect.intersects(np.array([2.1, 0.0]), np.array([3.0, 1.0]))
+
+    def test_containment(self):
+        outer = Rect(np.array([0.0, 0.0]), np.array([4.0, 4.0]))
+        inner = Rect(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_point(np.array([4.0, 0.0]))
+        assert not outer.contains_point(np.array([4.1, 0.0]))
+
+    def test_empty_rect_unions_as_identity(self):
+        empty = Rect.empty(2)
+        point = Rect.from_point(np.array([1.0, 2.0]))
+        u = empty.union(point)
+        assert u.low.tolist() == [1.0, 2.0]
+        assert u.high.tolist() == [1.0, 2.0]
+        assert empty.area() == 0.0
+
+
+class TestConstruction:
+    def test_bulk_load_valid(self, points_2d):
+        tree = RTree.bulk_load(points_2d, max_entries=16)
+        tree.validate()
+        assert tree.size == points_2d.shape[0]
+        assert np.array_equal(tree.all_point_ids(), np.arange(points_2d.shape[0]))
+
+    def test_dynamic_insert_valid(self, points_2d):
+        tree = RTree.from_points(points_2d[:150], max_entries=8)
+        tree.validate()
+        assert tree.size == 150
+
+    def test_dynamic_insert_without_presort(self, points_2d):
+        tree = RTree.from_points(points_2d[:120], max_entries=8, presort_bin_width=None)
+        tree.validate()
+
+    def test_bulk_load_4d(self, points_4d):
+        tree = RTree.bulk_load(points_4d, max_entries=10)
+        tree.validate()
+        assert tree.height() >= 2
+
+    def test_small_fanout_increases_height(self, points_2d):
+        small = RTree.bulk_load(points_2d, max_entries=4)
+        large = RTree.bulk_load(points_2d, max_entries=64)
+        assert small.height() > large.height()
+        assert small.node_count() > large.node_count()
+
+    def test_single_point_tree(self):
+        tree = RTree(n_dims=2)
+        tree.insert(0, np.array([1.0, 1.0]))
+        tree.validate()
+        assert tree.height() == 1
+
+    def test_insert_wrong_shape_rejected(self):
+        tree = RTree(n_dims=2)
+        with pytest.raises(ValueError):
+            tree.insert(0, np.array([1.0, 2.0, 3.0]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(n_dims=0)
+        with pytest.raises(ValueError):
+            RTree(n_dims=2, max_entries=1)
+
+
+class TestQueries:
+    def _brute_rect(self, points, low, high):
+        inside = np.all((points >= low) & (points <= high), axis=1)
+        return np.flatnonzero(inside)
+
+    @pytest.mark.parametrize("builder", ["bulk", "insert"])
+    def test_range_query_matches_brute_force(self, points_2d, builder):
+        if builder == "bulk":
+            tree = RTree.bulk_load(points_2d, max_entries=12)
+        else:
+            tree = RTree.from_points(points_2d, max_entries=12)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            center = rng.uniform(0, 10, 2)
+            low, high = center - 1.0, center + 1.0
+            got, _visited = tree.range_query(low, high)
+            expected = self._brute_rect(points_2d, low, high)
+            assert np.array_equal(np.sort(got), expected)
+
+    def test_range_query_whole_space(self, points_2d):
+        tree = RTree.bulk_load(points_2d)
+        got, _ = tree.range_query(np.array([-1.0, -1.0]), np.array([11.0, 11.0]))
+        assert got.shape[0] == points_2d.shape[0]
+
+    def test_range_query_empty_region(self, points_2d):
+        tree = RTree.bulk_load(points_2d)
+        got, visited = tree.range_query(np.array([20.0, 20.0]), np.array([21.0, 21.0]))
+        assert got.shape[0] == 0
+        assert visited >= 1
+
+    def test_sphere_query_refines(self, points_2d):
+        tree = RTree.bulk_load(points_2d)
+        center = points_2d[0]
+        radius = 1.0
+        within, candidates, _ = tree.range_query_sphere(center, radius, points_2d)
+        dist = np.linalg.norm(points_2d - center, axis=1)
+        expected = np.flatnonzero(dist <= radius)
+        assert np.array_equal(np.sort(within), expected)
+        assert candidates >= within.shape[0]
+
+    def test_sphere_query_4d(self, points_4d):
+        tree = RTree.bulk_load(points_4d)
+        center = points_4d[10]
+        within, _, _ = tree.range_query_sphere(center, 0.8, points_4d)
+        dist = np.linalg.norm(points_4d - center, axis=1)
+        assert np.array_equal(np.sort(within), np.flatnonzero(dist <= 0.8))
+
+    def test_pruning_visits_fewer_nodes_than_scan(self, points_2d):
+        tree = RTree.bulk_load(points_2d, max_entries=8)
+        _, visited = tree.range_query(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        assert visited < tree.node_count()
+
+
+class TestPresort:
+    def test_sort_for_insertion_is_permutation(self, points_2d):
+        order = sort_for_insertion(points_2d, bin_width=1.0)
+        assert np.array_equal(np.sort(order), np.arange(points_2d.shape[0]))
+
+    def test_sorted_bins_are_grouped(self, points_2d):
+        order = sort_for_insertion(points_2d, bin_width=1.0)
+        bins = np.floor(points_2d[order] - points_2d.min(axis=0)).astype(int)
+        # The first-dimension bins must be non-decreasing within the sort.
+        assert np.all(np.diff(bins[:, 0]) >= 0)
+
+    def test_invalid_bin_width(self, points_2d):
+        with pytest.raises(ValueError):
+            sort_for_insertion(points_2d, bin_width=0.0)

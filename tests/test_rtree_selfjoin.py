@@ -1,0 +1,57 @@
+"""Tests for the CPU-RTREE search-and-refine self-join baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.baselines.rtree_selfjoin import build_rtree, rtree_selfjoin
+
+
+class TestRTreeSelfJoin:
+    def test_matches_reference_2d(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = rtree_selfjoin(uniform_2d, eps_2d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_matches_reference_3d(self, uniform_3d, eps_3d, reference_pairs_3d):
+        out = rtree_selfjoin(uniform_3d, eps_3d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_3d)
+
+    def test_matches_reference_clustered(self, clustered_2d):
+        eps = 1.0
+        out = rtree_selfjoin(clustered_2d, eps)
+        expected = kdtree_selfjoin(clustered_2d, eps)
+        assert out.result.same_pairs_as(expected)
+
+    def test_exclude_self(self, uniform_2d, eps_2d):
+        with_self = rtree_selfjoin(uniform_2d, eps_2d, include_self=True)
+        without = rtree_selfjoin(uniform_2d, eps_2d, include_self=False)
+        assert with_self.result.num_pairs - without.result.num_pairs == uniform_2d.shape[0]
+
+    def test_prebuilt_tree_reused(self, uniform_2d, eps_2d):
+        tree = build_rtree(uniform_2d)
+        out = rtree_selfjoin(uniform_2d, eps_2d, tree=tree)
+        assert out.tree is tree
+        assert out.result.contains_all_self_pairs()
+
+    def test_dynamic_insert_tree(self, uniform_3d, eps_3d, reference_pairs_3d):
+        tree = build_rtree(uniform_3d, bulk=False, max_entries=8)
+        out = rtree_selfjoin(uniform_3d, eps_3d, tree=tree)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_3d)
+
+    def test_stats_populated(self, uniform_2d, eps_2d):
+        out = rtree_selfjoin(uniform_2d, eps_2d)
+        assert out.stats.result_pairs == out.result.num_pairs
+        assert out.stats.candidates_examined >= out.result.num_pairs
+        assert out.stats.distance_calcs == out.stats.candidates_examined
+        assert out.stats.nodes_visited >= uniform_2d.shape[0]
+
+    def test_search_then_refine_filters_candidates(self, uniform_2d):
+        # With a rectangle strictly larger than the sphere, candidates > results.
+        out = rtree_selfjoin(uniform_2d, 1.5)
+        assert out.stats.candidates_examined > out.result.num_pairs
+
+    def test_invalid_eps(self, uniform_2d):
+        with pytest.raises(ValueError):
+            rtree_selfjoin(uniform_2d, -1.0)

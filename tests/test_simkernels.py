@@ -1,0 +1,92 @@
+"""Tests for the instrumented per-thread device kernels (simulator path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.core.gridindex import GridIndex
+from repro.core.simkernels import simulated_selfjoin
+from repro.data.synthetic import uniform_dataset
+from repro.gpusim import Device
+
+
+@pytest.fixture(scope="module")
+def small_points():
+    return uniform_dataset(250, 2, seed=42, low=0.0, high=8.0)
+
+
+@pytest.fixture(scope="module")
+def small_index(small_points):
+    return GridIndex.build(small_points, 0.6)
+
+
+class TestSimulatedCorrectness:
+    def test_global_matches_reference(self, small_points, small_index):
+        out = simulated_selfjoin(small_index, unicomp=False)
+        expected = kdtree_selfjoin(small_points, 0.6)
+        assert out.result.same_pairs_as(expected)
+
+    def test_unicomp_matches_reference(self, small_points, small_index):
+        out = simulated_selfjoin(small_index, unicomp=True)
+        expected = kdtree_selfjoin(small_points, 0.6)
+        assert out.result.same_pairs_as(expected)
+
+    def test_3d_simulated(self):
+        pts = uniform_dataset(150, 3, seed=7, low=0.0, high=4.0)
+        index = GridIndex.build(pts, 0.7)
+        out = simulated_selfjoin(index, unicomp=True)
+        expected = kdtree_selfjoin(pts, 0.7)
+        assert out.result.same_pairs_as(expected)
+
+    def test_results_emitted_counter_matches(self, small_index):
+        out = simulated_selfjoin(small_index, unicomp=False)
+        assert out.metrics.results_emitted == out.result.num_pairs
+
+
+class TestSimulatedMetrics:
+    def test_threads_and_warps(self, small_index):
+        out = simulated_selfjoin(small_index, unicomp=False)
+        n = small_index.num_points
+        assert out.metrics.threads_launched == n
+        assert out.metrics.warps_executed == -(-n // 32)
+
+    def test_global_loads_positive(self, small_index):
+        out = simulated_selfjoin(small_index, unicomp=False)
+        assert out.metrics.global_loads > small_index.num_points
+        assert out.metrics.cache_accesses == out.metrics.global_loads
+
+    def test_unicomp_lowers_occupancy(self, small_index):
+        full = simulated_selfjoin(small_index, unicomp=False)
+        uni = simulated_selfjoin(small_index, unicomp=True)
+        assert uni.metrics.theoretical_occupancy < full.metrics.theoretical_occupancy
+
+    def test_unicomp_issues_fewer_loads(self, small_index):
+        full = simulated_selfjoin(small_index, unicomp=False)
+        uni = simulated_selfjoin(small_index, unicomp=True)
+        assert uni.metrics.global_loads < full.metrics.global_loads
+
+    def test_divergence_factor_at_least_one(self, small_index):
+        out = simulated_selfjoin(small_index, unicomp=False)
+        assert out.metrics.divergence_factor >= 1.0
+        assert 0.0 < out.metrics.simd_efficiency <= 1.0
+
+    def test_cache_hit_rate_in_unit_interval(self, small_index):
+        out = simulated_selfjoin(small_index, unicomp=True)
+        assert 0.0 <= out.metrics.cache_hit_rate <= 1.0
+
+    def test_estimated_time_and_utilization_positive(self, small_index):
+        out = simulated_selfjoin(small_index, unicomp=False)
+        assert out.metrics.estimated_kernel_time() > 0.0
+        assert out.metrics.unified_cache_utilization_gbps() >= 0.0
+
+    def test_register_override_changes_occupancy(self, small_index):
+        low = simulated_selfjoin(small_index, registers_per_thread=32)
+        high = simulated_selfjoin(small_index, registers_per_thread=128)
+        assert high.metrics.theoretical_occupancy < low.metrics.theoretical_occupancy
+
+    def test_custom_device_is_used(self, small_index):
+        device = Device()
+        out = simulated_selfjoin(small_index, device=device)
+        assert out.metrics.spec is device.spec

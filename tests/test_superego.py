@@ -1,0 +1,105 @@
+"""Tests for the SUPEREGO driver (normalization, reordering, threading)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kdtree_ref import kdtree_selfjoin
+from repro.baselines.superego import (
+    SuperEGO,
+    normalize_unit_cube,
+    reorder_dimensions,
+    superego_selfjoin,
+)
+from repro.data.synthetic import uniform_dataset
+
+
+class TestNormalization:
+    def test_unit_cube_bounds(self, uniform_2d):
+        normalized, scale, offset = normalize_unit_cube(uniform_2d)
+        assert normalized.min() >= 0.0
+        assert normalized.max() <= 1.0 + 1e-12
+        assert scale > 0.0
+
+    def test_uniform_scale_preserves_distances(self, uniform_2d):
+        normalized, scale, _ = normalize_unit_cube(uniform_2d)
+        original = np.linalg.norm(uniform_2d[0] - uniform_2d[1])
+        scaled = np.linalg.norm(normalized[0] - normalized[1]) * scale
+        assert scaled == pytest.approx(original)
+
+    def test_degenerate_data(self):
+        pts = np.ones((5, 3))
+        normalized, scale, _ = normalize_unit_cube(pts)
+        assert np.isfinite(normalized).all()
+        assert scale == 1.0
+
+
+class TestDimensionReordering:
+    def test_returns_permutation(self, uniform_3d, eps_3d):
+        order = reorder_dimensions(uniform_3d, eps_3d)
+        assert np.array_equal(np.sort(order), np.arange(3))
+
+    def test_most_discriminating_dimension_first(self):
+        rng = np.random.default_rng(0)
+        # Dimension 0 spans [0, 100]; dimension 1 is almost constant.
+        pts = np.stack([rng.uniform(0, 100, 500), rng.uniform(0, 0.5, 500)], axis=1)
+        order = reorder_dimensions(pts, 1.0)
+        assert order[0] == 0
+
+    def test_reordering_does_not_change_result(self, uniform_3d, eps_3d, reference_pairs_3d):
+        for reorder in (False, True):
+            out = SuperEGO(reorder=reorder, n_threads=2).join(uniform_3d, eps_3d)
+            assert np.array_equal(out.result.canonical_pairs(), reference_pairs_3d)
+
+
+class TestSuperEGOJoin:
+    def test_matches_reference_2d(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = superego_selfjoin(uniform_2d, eps_2d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_matches_reference_sw(self, sw_small):
+        eps = 3.0
+        out = superego_selfjoin(sw_small, eps)
+        expected = kdtree_selfjoin(sw_small, eps)
+        assert out.result.same_pairs_as(expected)
+
+    def test_matches_reference_sdss(self, sdss_small):
+        eps = 1.0
+        out = superego_selfjoin(sdss_small, eps)
+        expected = kdtree_selfjoin(sdss_small, eps)
+        assert out.result.same_pairs_as(expected)
+
+    def test_single_thread_equals_multi_thread(self, uniform_3d, eps_3d):
+        single = SuperEGO(n_threads=1).join(uniform_3d, eps_3d)
+        multi = SuperEGO(n_threads=4).join(uniform_3d, eps_3d)
+        assert single.result.same_pairs_as(multi.result)
+
+    def test_without_normalization(self, uniform_2d, eps_2d, reference_pairs_2d):
+        out = SuperEGO(normalize=False).join(uniform_2d, eps_2d)
+        assert np.array_equal(out.result.canonical_pairs(), reference_pairs_2d)
+
+    def test_exclude_self(self, uniform_2d, eps_2d):
+        with_self = superego_selfjoin(uniform_2d, eps_2d, include_self=True)
+        without = superego_selfjoin(uniform_2d, eps_2d, include_self=False)
+        assert with_self.result.num_pairs - without.result.num_pairs == uniform_2d.shape[0]
+
+    def test_report_contents(self, uniform_3d, eps_3d):
+        joiner = SuperEGO(n_threads=2)
+        out, report = joiner.join_with_report(uniform_3d, eps_3d)
+        assert sorted(report.dimension_order) == [0, 1, 2]
+        assert report.scale > 0.0
+        assert report.normalized_eps == pytest.approx(eps_3d / report.scale)
+        assert report.n_threads == 2
+        assert report.n_tasks >= 1
+        assert report.stats.result_pairs == out.result.num_pairs
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            SuperEGO(n_threads=0)
+
+    def test_higher_dimensional_data(self, uniform_5d):
+        eps = 1.2
+        out = superego_selfjoin(uniform_5d, eps)
+        expected = kdtree_selfjoin(uniform_5d, eps)
+        assert out.result.same_pairs_as(expected)

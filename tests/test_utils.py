@@ -1,0 +1,84 @@
+"""Tests for the utility helpers (timing, validation, logging)."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import enable_verbose, get_logger
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import check_eps, check_points, ensure_2d_float64, require
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        elapsed = t.stop()
+        assert elapsed == t.elapsed
+        assert elapsed > 0.0
+
+    def test_timed_helper(self):
+        result, elapsed = timed(sum, range(100))
+        assert result == 4950
+        assert elapsed >= 0.0
+
+
+class TestValidation:
+    def test_ensure_2d_converts_lists(self):
+        arr = ensure_2d_float64([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_ensure_2d_promotes_1d(self):
+        arr = ensure_2d_float64(np.arange(5.0))
+        assert arr.shape == (5, 1)
+
+    def test_rejects_bad_shapes_and_values(self):
+        with pytest.raises(ValueError):
+            ensure_2d_float64(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            ensure_2d_float64(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            ensure_2d_float64(np.empty((3, 0)))
+        with pytest.raises(ValueError):
+            ensure_2d_float64(np.array([[1.0, np.inf]]))
+
+    def test_check_points_max_dims(self):
+        pts = np.zeros((4, 3))
+        assert check_points(pts, max_dims=3).shape == (4, 3)
+        with pytest.raises(ValueError):
+            check_points(pts, max_dims=2)
+
+    def test_check_eps(self):
+        assert check_eps(1.5) == 1.5
+        assert check_eps(np.float64(2.0)) == 2.0
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_eps(bad)
+
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.experiments").name == "repro.experiments"
+
+    def test_enable_verbose_idempotent(self):
+        enable_verbose(logging.DEBUG)
+        handlers_before = len(logging.getLogger("repro").handlers)
+        enable_verbose(logging.INFO)
+        assert len(logging.getLogger("repro").handlers) == handlers_before
