@@ -42,6 +42,18 @@ def bench_trials() -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow``.
+
+    The default suite deselects slow tests (see ``pytest.ini``) so it
+    finishes in minutes; run the benchmarks with ``pytest -m slow``.
+    """
+    bench_dir = Path(__file__).parent.resolve()
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def report_dir() -> Path:
     """Directory collecting the rendered tables/series of every benchmark."""

@@ -15,6 +15,10 @@ batching) together with every substrate it depends on:
 * :mod:`repro.experiments` — the benchmark harness regenerating every table
   and figure of the evaluation section.
 * :mod:`repro.apps` — applications built on the self-join (DBSCAN, kNN).
+* :mod:`repro.engine` — the unified query engine: one declarative
+  :class:`~repro.engine.query.Query` (self-join / bipartite join / range
+  query / kNN candidates), one planner, pluggable execution backends, and
+  the CSR-native result pipeline every workload above runs on.
 
 Quickstart
 ----------
@@ -25,16 +29,24 @@ Quickstart
 >>> result = selfjoin(points, eps=0.5)
 >>> result.num_pairs > 0
 True
+
+The same join through the engine, straight to the CSR neighbor table:
+
+>>> from repro import Query, run_query
+>>> table = run_query(Query.self_join(points, eps=0.5)).neighbor_table
+>>> int(table.num_pairs) == result.num_pairs
+True
 """
 
 from __future__ import annotations
 
 from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig, selfjoin
 from repro.core.gridindex import GridIndex
-from repro.core.result import NeighborTable, ResultSet
+from repro.core.result import NeighborTable, PairFragments, ResultSet
 from repro.core.batching import BatchPlan, BatchPlanner
 from repro.core.join import range_query, similarity_join
 from repro.core.selector import adaptive_selfjoin, select_algorithm
+from repro.engine import Query, QueryPlanner, run_query
 
 __all__ = [
     "GPUSelfJoin",
@@ -46,10 +58,14 @@ __all__ = [
     "select_algorithm",
     "GridIndex",
     "NeighborTable",
+    "PairFragments",
     "ResultSet",
     "BatchPlan",
     "BatchPlanner",
+    "Query",
+    "QueryPlanner",
+    "run_query",
     "__version__",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -4,8 +4,9 @@ A standard task in the astronomy domain the paper's SDSS- datasets come from:
 given two catalogs (e.g. a new observation list and a reference survey), find
 for every object of the first catalog its counterpart(s) in the second within
 a matching radius.  This application sits directly on
-:func:`repro.core.join.similarity_join` and demonstrates the "join of two
-different sets" generalization the paper mentions in its background section.
+:func:`repro.core.join.similarity_join` (and through it on the unified query
+engine's bipartite probe) and demonstrates the "join of two different sets"
+generalization the paper mentions in its background section.
 """
 
 from __future__ import annotations
@@ -85,22 +86,14 @@ def crossmatch(queries: np.ndarray, reference: np.ndarray, radius: float,
         diff = q[pairs.left_ids] - ref[pairs.right_ids]
         dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         match_counts = np.bincount(pairs.left_ids, minlength=n_q).astype(np.int64)
-        # Keep the closest counterpart per query: process in distance order so
-        # the first assignment per query id wins.
-        order = np.argsort(dist, kind="stable")
-        left_sorted = pairs.left_ids[order]
-        right_sorted = pairs.right_ids[order]
-        dist_sorted = dist[order]
-        first = np.full(n_q, -1, dtype=np.int64)
-        seen = np.zeros(n_q, dtype=bool)
-        for k in range(left_sorted.shape[0]):
-            lid = int(left_sorted[k])
-            if not seen[lid]:
-                seen[lid] = True
-                first[lid] = k
-        matched = np.flatnonzero(seen)
-        best_match[matched] = right_sorted[first[matched]]
-        best_distance[matched] = dist_sorted[first[matched]]
+        # Keep the closest counterpart per query: group by (query id,
+        # distance) and take each query's first entry — no per-pair Python
+        # loop.  Ties resolve to the pair emitted first (lexsort is stable).
+        order = np.lexsort((dist, pairs.left_ids))
+        matched, first = np.unique(pairs.left_ids[order], return_index=True)
+        sel = order[first]
+        best_match[matched] = pairs.right_ids[sel]
+        best_distance[matched] = dist[sel]
 
     return CrossMatchResult(best_match=best_match, best_distance=best_distance,
                             match_counts=match_counts)

@@ -4,7 +4,9 @@ DBSCAN (Ester et al. 1996) needs, for every point, its ε-neighborhood.  The
 approach the paper builds on (Böhm et al. 2000; Gowanlock et al. 2017)
 computes all neighborhoods up front with one similarity self-join and then
 clusters from the materialized neighbor table — exactly what this module
-does: the neighbor table comes from :func:`repro.selfjoin` and the clustering
+does: the neighbor table comes straight from the unified query engine's
+CSR-native pipeline (:meth:`repro.core.selfjoin.GPUSelfJoin.join_table`, no
+flat pair list is materialized or re-sorted on the way) and the clustering
 step is a standard core-point expansion over that table.
 
 Labels follow the scikit-learn convention: ``-1`` marks noise, clusters are
@@ -75,12 +77,11 @@ def dbscan(points: np.ndarray, eps: float, min_pts: int,
         raise ValueError("min_pts must be >= 1")
 
     join_config = config or SelfJoinConfig()
-    joiner = GPUSelfJoin(join_config)
-    result = joiner.join(pts, eps)
     if not join_config.include_self:
         # Neighborhood sizes in DBSCAN count the point itself; re-add it.
         raise ValueError("DBSCAN requires include_self=True in the self-join config")
-    table = result.to_neighbor_table()
+    joiner = GPUSelfJoin(join_config)
+    table = joiner.join_table(pts, eps)
 
     n = pts.shape[0]
     degrees = table.counts()

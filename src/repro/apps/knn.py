@@ -1,22 +1,27 @@
 """k-nearest-neighbor search on the grid index (paper "future work").
 
 The paper's conclusion lists applying the indexing scheme to kNN searches as
-future work.  This module implements it: for each query point, candidate
-cells are visited in expanding Chebyshev "rings" around the query's cell; the
-search stops once ``k`` neighbors are known *and* the ring's minimum possible
-distance exceeds the current k-th neighbor distance, which guarantees
-exactness.
+future work.  This module implements it on top of the unified query engine:
+candidate generation executes through :class:`repro.engine.query.Query`'s
+``knn_candidates`` kind — an adaptive-radius grid probe that guarantees each
+query's candidate row contains its exact k nearest neighbors (if at least k
+candidates lie within radius r, the k-th neighbor distance is at most r, so
+every true neighbor is within r and therefore among the candidates).  The
+top-k selection over the CSR candidate table is fully vectorized: one bulk
+distance evaluation over all (query, candidate) pairs and one grouped sort.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.core.gridindex import GridIndex
+from repro.engine.executor import execute
+from repro.engine.planner import QueryPlanner
+from repro.engine.query import Query
 from repro.utils.validation import check_points
 
 
@@ -33,20 +38,10 @@ class KNNResult:
         return int(self.indices.shape[1])
 
 
-def _ring_offsets(n_dims: int, ring: int) -> np.ndarray:
-    """Offsets at Chebyshev distance exactly ``ring`` from the origin."""
-    if ring == 0:
-        return np.zeros((1, n_dims), dtype=np.int64)
-    values = range(-ring, ring + 1)
-    offsets = [np.array(combo, dtype=np.int64)
-               for combo in product(values, repeat=n_dims)
-               if max(abs(v) for v in combo) == ring]
-    return np.stack(offsets, axis=0)
-
-
 def knn_search(points: np.ndarray, k: int, queries: Optional[np.ndarray] = None,
                cell_width: Optional[float] = None, include_self: bool = False,
-               index: Optional[GridIndex] = None) -> KNNResult:
+               index: Optional[GridIndex] = None,
+               backend: str = "vectorized") -> KNNResult:
     """Exact k-nearest-neighbor search using the paper's grid index.
 
     Parameters
@@ -66,81 +61,42 @@ def knn_search(points: np.ndarray, k: int, queries: Optional[np.ndarray] = None,
     index:
         Optional pre-built :class:`GridIndex` over ``points`` (its ``eps`` is
         then used as the cell width).
+    backend:
+        Engine execution backend used for the candidate probes.
 
     Returns
     -------
     KNNResult
     """
     pts = check_points(points)
-    n, dims = pts.shape
+    n = pts.shape[0]
     if k < 1:
         raise ValueError("k must be >= 1")
-    limit = n if include_self else n - 1
+    self_query = queries is None
+    limit = n if (include_self or not self_query) else n - 1
     if k > limit:
         raise ValueError(f"k={k} exceeds the number of available neighbors ({limit})")
 
-    if index is not None:
-        grid = index
-    else:
-        if cell_width is None:
-            # Heuristic: radius containing ~k points under a uniform density.
-            extent = (pts.max(axis=0) - pts.min(axis=0))
-            extent = np.where(extent <= 0, 1.0, extent)
-            volume = float(np.prod(extent))
-            cell_width = float((volume * (k + 1) / n) ** (1.0 / dims))
-        grid = GridIndex.build(pts, cell_width)
+    query = Query.knn_candidates(pts, k,
+                                 queries=None if self_query else check_points(queries),
+                                 cell_width=cell_width,
+                                 include_self=include_self)
+    engine_result = execute(QueryPlanner(backend=backend).plan(query, index=index))
+    table = engine_result.neighbor_table
 
-    query_pts = pts if queries is None else check_points(queries)
-    self_query = queries is None
+    query_pts = pts if self_query else query.queries
     n_q = query_pts.shape[0]
+    counts = table.counts()
 
-    indices = np.empty((n_q, k), dtype=np.int64)
-    distances = np.empty((n_q, k), dtype=np.float64)
-    max_ring_possible = int(grid.num_cells.max()) + 1
+    # One bulk distance evaluation over every (query row, candidate) pair.
+    rows = np.repeat(np.arange(n_q, dtype=np.int64), counts)
+    diff = query_pts[rows] - pts[table.neighbors]
+    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
-    for qi in range(n_q):
-        q = query_pts[qi]
-        q_coords = np.floor((q - grid.gmin) / grid.eps).astype(np.int64)
-        np.clip(q_coords, 0, grid.num_cells - 1, out=q_coords)
-        cand_ids: list[np.ndarray] = []
-        best = np.empty(0)
-        best_ids = np.empty(0, dtype=np.int64)
-        ring = 0
-        while ring <= max_ring_possible:
-            offsets = _ring_offsets(dims, ring)
-            coords = q_coords[None, :] + offsets
-            inside = np.all((coords >= 0) & (coords < grid.num_cells[None, :]), axis=1)
-            coords = coords[inside]
-            if coords.shape[0]:
-                linear = grid.coords_to_linear(coords)
-                found = grid.lookup_cells(linear)
-                for h in found[found >= 0]:
-                    cand_ids.append(grid.points_in_cell(int(h)))
-            if cand_ids:
-                ids = np.unique(np.concatenate(cand_ids))
-                if self_query and not include_self:
-                    ids = ids[ids != qi]
-                if ids.shape[0] >= k:
-                    diff = pts[ids] - q
-                    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-                    order = np.argsort(dist, kind="stable")[:k]
-                    best = dist[order]
-                    best_ids = ids[order]
-                    # The next unexplored ring is at Chebyshev distance ring+1,
-                    # i.e. at least ring * cell_width away in Euclidean terms.
-                    if best[-1] <= ring * grid.eps:
-                        break
-            ring += 1
-        if best_ids.shape[0] < k:
-            # Fallback: exhaustive scan (tiny datasets or degenerate grids).
-            ids = np.arange(n, dtype=np.int64)
-            if self_query and not include_self:
-                ids = ids[ids != qi]
-            diff = pts[ids] - q
-            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-            order = np.argsort(dist, kind="stable")[:k]
-            best = dist[order]
-            best_ids = ids[order]
-        indices[qi] = best_ids
-        distances[qi] = best
-    return KNNResult(indices=indices, distances=distances)
+    # Grouped top-k: order by (row, distance); ties resolve to the lower
+    # candidate id because CSR rows are stored in id order and the sort is
+    # stable.  Row r's k best entries start at the row's first position.
+    order = np.lexsort((dist, rows))
+    starts = table.offsets[:-1]
+    take = order[starts[:, None] + np.arange(k, dtype=np.int64)[None, :]]
+    return KNNResult(indices=table.neighbors[take], distances=dist[take])

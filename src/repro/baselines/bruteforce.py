@@ -16,7 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.result import ResultSet
+from repro.core.result import PairFragments, ResultSet
 from repro.utils.validation import check_eps, ensure_2d_float64
 
 #: Default number of query rows processed per chunk; bounds the temporary
@@ -49,6 +49,55 @@ def bruteforce_selfjoin(points: np.ndarray, eps: float,
         return BruteForceOutput(result=result, num_pairs=result.num_pairs,
                                 distance_calcs=out.distance_calcs)
     return out
+
+
+def allpairs_emit(queries: np.ndarray, data: np.ndarray, eps: float,
+                  sink, rows: Optional[np.ndarray] = None,
+                  chunk_rows: int = DEFAULT_CHUNK_ROWS) -> int:
+    """Chunked all-pairs scan emitting (query row, data id) pairs into ``sink``.
+
+    The single implementation shared by :func:`bruteforce_join` and the
+    engine's ``bruteforce`` backend.  Distances use the direct difference
+    (not the expanded dot-product identity) so the ε-boundary decision
+    ``dist² <= ε²`` is bit-identical to the grid kernels' filter — the
+    backend-parity tests rely on this.  Returns the number of distance
+    evaluations.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    if rows is None:
+        rows = np.arange(queries.shape[0], dtype=np.int64)
+    eps2 = eps * eps
+    distance_calcs = 0
+    for start in range(0, rows.shape[0], chunk_rows):
+        chunk = rows[start:start + chunk_rows]
+        diff = queries[chunk][:, None, :] - data[None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        distance_calcs += int(dist2.size)
+        qi, ci = np.nonzero(dist2 <= eps2)
+        sink.emit(chunk[qi], ci.astype(np.int64))
+    return distance_calcs
+
+
+def bruteforce_join(left: np.ndarray, right: np.ndarray, eps: float,
+                    chunk_rows: int = DEFAULT_CHUNK_ROWS) -> BruteForceOutput:
+    """All-pairs bipartite join: every ``(a, b)`` with ``dist(a, b) <= eps``.
+
+    The returned :class:`ResultSet` keys are ``left`` row ids and the values
+    are ``right`` ids (``num_points`` is the left-side cardinality), matching
+    the engine's bipartite CSR keying.
+    """
+    left_pts = ensure_2d_float64(left, name="left")
+    right_pts = ensure_2d_float64(right, name="right")
+    eps = check_eps(eps)
+    if left_pts.shape[1] != right_pts.shape[1]:
+        raise ValueError("left and right must have the same dimensionality")
+    sink = PairFragments(left_pts.shape[0])
+    distance_calcs = allpairs_emit(left_pts, right_pts, eps, sink,
+                                   chunk_rows=chunk_rows)
+    result = sink.to_result_set()
+    return BruteForceOutput(result=result, num_pairs=result.num_pairs,
+                            distance_calcs=distance_calcs)
 
 
 def _bruteforce(points: np.ndarray, eps: float, chunk_rows: int,

@@ -324,12 +324,22 @@ class RTree:
         Euclidean distance.  Returns ``(ids_within, candidates, nodes_visited)``.
         """
         center = np.asarray(center, dtype=np.float64)
-        candidates, visited = self.range_query(center - radius, center + radius)
+        # Pad the search rectangle by a few ulps: the box test compares raw
+        # coordinates exactly, while the refine step's floating-point
+        # distance rounds, so a point a hair outside the box can still have
+        # a rounded distance <= radius.  The refine filter removes any extra
+        # candidates, so padding never produces false positives.
+        pad = 4.0 * np.spacing(np.abs(center) + radius)
+        candidates, visited = self.range_query(center - radius - pad,
+                                               center + radius + pad)
         if candidates.shape[0] == 0:
             return candidates, 0, visited
-        diff = points[candidates] - center
-        dist2 = np.einsum("ij,ij->i", diff, diff)
-        within = candidates[dist2 <= radius * radius]
+        # Canonical Euclidean distance (np.linalg.norm) so the boundary
+        # decision matches callers comparing against norm-computed distances
+        # bit-for-bit; a squared-distance shortcut rounds differently at
+        # radii that exactly equal a point's distance.
+        dist = np.linalg.norm(points[candidates] - center, axis=1)
+        within = candidates[dist <= radius]
         return within, int(candidates.shape[0]), visited
 
     # ------------------------------------------------------------ inspection

@@ -153,11 +153,13 @@ class BatchPlanner:
             rng = np.random.default_rng(self.seed)
             sample = np.sort(rng.choice(n_cells, size=sample_size, replace=False))
         output = kernel(index, eps, sample)
+        sampled_pairs = output.result.num_pairs if output.result is not None \
+            else output.stats.result_pairs
         sampled_points = int(index.cell_counts[sample].sum())
         if sampled_points == 0:
             return 0
         scale = index.num_points / sampled_points
-        return int(math.ceil(output.result.num_pairs * scale))
+        return int(math.ceil(sampled_pairs * scale))
 
     # -------------------------------------------------------------- planning
     def plan(self, index: GridIndex, eps: Optional[float] = None,
@@ -221,36 +223,37 @@ def split_cells_balanced(index: GridIndex, n_batches: int) -> List[np.ndarray]:
     return batches
 
 
-def execute_batched(index: GridIndex, eps: float, plan: BatchPlan, kernel: KernelFn,
-                    device: Optional[Device] = None, n_streams: int = 3,
-                    max_adaptive_splits: int = 8,
-                    ) -> tuple[ResultSet, KernelStats, BatchExecutionReport]:
-    """Execute a self-join batch by batch.
+def run_adaptive_batches(batches: List[np.ndarray], run_batch,
+                         buffer_capacity_pairs: int,
+                         max_adaptive_splits: int = 8):
+    """Generic batch loop with adaptive splitting on result-buffer overflow.
 
-    Each batch runs the kernel over its cells; if a batch's result exceeds
-    the planned buffer capacity it is split in half and re-run (up to
-    ``max_adaptive_splits`` times overall), mirroring how an implementation
-    would re-issue a kernel whose result buffer overflowed.
+    ``run_batch(batch) -> (pairs, payload)`` executes one batch of work items
+    (cell or query-row indices) and reports the number of result pairs it
+    produced together with an arbitrary payload (a :class:`KernelOutput`, a
+    :class:`~repro.core.result.PairFragments` sink, ...).  A batch whose pair
+    count exceeds ``buffer_capacity_pairs`` is discarded, split in half and
+    re-run (up to ``max_adaptive_splits`` times overall), mirroring how an
+    implementation would re-issue a kernel whose result buffer overflowed.
 
-    Returns the merged result, the accumulated kernel work counters and a
-    :class:`BatchExecutionReport` containing the per-batch sizes/times and
-    the stream-overlap timeline.
+    This single loop drives both the legacy :func:`execute_batched` API and
+    the sink-based executor of :mod:`repro.engine.executor`, so self-joins
+    and bipartite probes share one merge path.
+
+    Returns ``(payloads, batch_pairs, batch_times, splits)``.
     """
-    device = device or Device()
-    report = BatchExecutionReport(plan=plan)
-    stats = KernelStats()
-    parts: List[ResultSet] = []
-
-    pending: List[np.ndarray] = [b for b in plan.cell_batches if b.shape[0] > 0]
+    pending: List[np.ndarray] = [b for b in batches if b.shape[0] > 0]
     if not pending:
         pending = [np.empty(0, dtype=np.int64)]
+    payloads: List = []
+    batch_pairs: List[int] = []
+    batch_times: List[float] = []
     splits = 0
     while pending:
         batch = pending.pop(0)
         with Timer() as timer:
-            output = kernel(index, eps, batch)
-        pairs = output.result.num_pairs
-        if (pairs > plan.buffer_capacity_pairs and batch.shape[0] > 1
+            pairs, payload = run_batch(batch)
+        if (pairs > buffer_capacity_pairs and batch.shape[0] > 1
                 and splits < max_adaptive_splits):
             # The batch would have overflowed the device result buffer:
             # split it and re-run both halves.
@@ -259,12 +262,41 @@ def execute_batched(index: GridIndex, eps: float, plan: BatchPlan, kernel: Kerne
             pending.insert(0, batch[mid:])
             pending.insert(0, batch[:mid])
             continue
-        stats.merge(output.stats)
-        parts.append(output.result)
-        report.batch_pairs.append(pairs)
-        report.batch_times.append(timer.elapsed)
+        payloads.append(payload)
+        batch_pairs.append(pairs)
+        batch_times.append(timer.elapsed)
+    return payloads, batch_pairs, batch_times, splits
 
-    report.splits_performed = splits
+
+def execute_batched(index: GridIndex, eps: float, plan: BatchPlan, kernel: KernelFn,
+                    device: Optional[Device] = None, n_streams: int = 3,
+                    max_adaptive_splits: int = 8,
+                    ) -> tuple[ResultSet, KernelStats, BatchExecutionReport]:
+    """Execute a self-join batch by batch (legacy pair-list API).
+
+    Returns the merged result, the accumulated kernel work counters and a
+    :class:`BatchExecutionReport` containing the per-batch sizes/times and
+    the stream-overlap timeline.
+    """
+    device = device or Device()
+    report = BatchExecutionReport(plan=plan)
+    stats = KernelStats()
+
+    def run_batch(batch: np.ndarray):
+        output = kernel(index, eps, batch)
+        pairs = output.result.num_pairs if output.result is not None \
+            else output.stats.result_pairs
+        return pairs, output
+
+    outputs, report.batch_pairs, report.batch_times, report.splits_performed = \
+        run_adaptive_batches(plan.cell_batches, run_batch,
+                             plan.buffer_capacity_pairs, max_adaptive_splits)
+    parts: List[ResultSet] = []
+    for output in outputs:
+        stats.merge(output.stats)
+        if output.result is not None:
+            parts.append(output.result)
+
     result = ResultSet.merge(parts) if parts else ResultSet.empty(index.num_points)
     report.pipeline = simulate_pipeline(
         report.batch_times,

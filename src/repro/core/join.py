@@ -1,16 +1,19 @@
-"""Bipartite distance-similarity join on the grid index.
+"""Bipartite distance-similarity join — thin wrapper over :mod:`repro.engine`.
 
 The paper frames the self-join as "a special case of a join operation on two
-different sets of data points" (Section II).  This module provides that
-general case: given two datasets ``A`` and ``B`` and a distance ε, find every
-pair ``(a, b)`` with ``dist(a, b) <= eps``.  The grid index is built over one
-side (by default the larger set, which maximizes pruning) and the other side
-is probed cell by cell with the same bounded 3^n adjacent-cell search the
-self-join kernels use.
+different sets of data points" (Section II).  This module keeps the original
+convenience API for that general case: given two datasets ``A`` and ``B``
+and a distance ε, find every pair ``(a, b)`` with ``dist(a, b) <= eps``.
+
+The probe loop that used to live here moved into the engine's execution
+backends (:mod:`repro.engine.backends`), where it is shared by every
+workload; :func:`similarity_join` and :func:`range_query` now just build a
+:class:`~repro.engine.query.Query`, run it, and adapt the result.  The
+range-query wrapper returns one array per query by slicing the CSR neighbor
+table (a single bulk split — no per-query Python append loop).
 
 This is the building block for applications such as catalog cross-matching
-(e.g. matching an observation list against the SDSS surrogate) and is also
-used by the range-query convenience API (:func:`range_query`).
+(e.g. matching an observation list against the SDSS surrogate).
 """
 
 from __future__ import annotations
@@ -20,11 +23,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core import linearize as lin
 from repro.core.gridindex import GridIndex
 from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelStats
-from repro.core.neighbors import all_neighbor_offsets
-from repro.utils.validation import check_eps, ensure_2d_float64
+from repro.engine.executor import execute
+from repro.engine.planner import QueryPlanner
+from repro.engine.query import Query
 
 
 @dataclass
@@ -68,6 +71,7 @@ class JoinOutput:
 def similarity_join(left: np.ndarray, right: np.ndarray, eps: float,
                     index: Optional[GridIndex] = None,
                     max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                    backend: str = "vectorized",
                     ) -> JoinOutput:
     """Find all pairs ``(a, b)`` with ``a`` in ``left``, ``b`` in ``right`` within ε.
 
@@ -82,159 +86,38 @@ def similarity_join(left: np.ndarray, right: np.ndarray, eps: float,
         Join distance.
     index:
         Optional pre-built grid index over ``right`` with cell length ``eps``
-        (it is rebuilt otherwise).
+        (it is rebuilt otherwise; supplying it also pins the indexed side).
     max_candidate_pairs:
         Memory bound for the candidate-pair expansion.
+    backend:
+        Engine execution backend to probe with.
 
     Returns
     -------
     JoinOutput
     """
-    left_pts = ensure_2d_float64(left, name="left")
-    right_pts = ensure_2d_float64(right, name="right")
-    eps = check_eps(eps)
-    if left_pts.shape[1] != right_pts.shape[1]:
-        raise ValueError("left and right must have the same dimensionality")
-    if index is None:
-        index = GridIndex.build(right_pts, eps)
-    elif index.num_points != right_pts.shape[0] or index.num_dims != right_pts.shape[1]:
-        raise ValueError("the supplied index does not match the right-side dataset")
-
-    stats = KernelStats()
-    eps2 = eps * eps
-
-    # Group the query points by their cell coordinates *in the index's grid*
-    # so the adjacent-cell resolution is shared by co-located queries.
-    coords = lin.compute_cell_coords(left_pts, index.gmin, index.eps, index.num_cells)
-    # Queries outside the (ε-padded) grid of ``right`` cannot have matches
-    # beyond the clipped boundary cells; clipping is already done by
-    # compute_cell_coords, and the distance filter removes false positives.
-    cell_ids = lin.linearize(coords, index.strides)
-    order = np.argsort(cell_ids, kind="stable")
-    sorted_ids = cell_ids[order]
-    unique_ids, starts, counts = _rle(sorted_ids)
-    group_coords = lin.delinearize(unique_ids, index.num_cells)
-
-    key_parts: List[np.ndarray] = []
-    val_parts: List[np.ndarray] = []
-    offsets = all_neighbor_offsets(index.num_dims, include_home=True)
-    for offset in offsets:
-        neighbor = group_coords + offset[None, :]
-        inside = np.all((neighbor >= 0) & (neighbor < index.num_cells[None, :]), axis=1)
-        for j, mask in enumerate(index.masks):
-            if not inside.any():
-                break
-            pos = np.searchsorted(mask, neighbor[:, j])
-            pos = np.minimum(pos, mask.shape[0] - 1)
-            inside &= mask[pos] == neighbor[:, j]
-        candidates = np.flatnonzero(inside)
-        stats.cells_checked += int(candidates.shape[0])
-        if candidates.shape[0] == 0:
-            continue
-        linear = lin.linearize(neighbor[candidates], index.strides)
-        target = index.lookup_cells(linear)
-        found = target >= 0
-        src_groups = candidates[found]
-        tgt_cells = target[found]
-        stats.nonempty_cells_visited += int(src_groups.shape[0])
-        if src_groups.shape[0] == 0:
-            continue
-        n_dist = _emit_group_pairs(left_pts, right_pts, index, order, starts, counts,
-                                   src_groups, tgt_cells, eps2, max_candidate_pairs,
-                                   key_parts, val_parts)
-        stats.distance_calcs += n_dist
-
-    if key_parts:
-        left_ids = np.concatenate(key_parts).astype(np.int64)
-        right_ids = np.concatenate(val_parts).astype(np.int64)
-    else:
-        left_ids = np.empty(0, dtype=np.int64)
-        right_ids = np.empty(0, dtype=np.int64)
+    query = Query.bipartite_join(left, right, eps)
+    planner = QueryPlanner(backend=backend,
+                           max_candidate_pairs=max_candidate_pairs)
+    engine_result = execute(planner.plan(query, index=index))
+    left_ids, right_ids = engine_result.pairs()
     result = JoinResult(left_ids=left_ids, right_ids=right_ids,
-                        num_left=left_pts.shape[0], num_right=right_pts.shape[0])
-    stats.result_pairs = result.num_pairs
-    return JoinOutput(result=result, stats=stats)
+                        num_left=query.num_rows,
+                        num_right=query.points.shape[0])
+    return JoinOutput(result=result, stats=engine_result.stats)
 
 
 def range_query(data: np.ndarray, queries: np.ndarray, eps: float,
-                index: Optional[GridIndex] = None) -> List[np.ndarray]:
+                index: Optional[GridIndex] = None,
+                backend: str = "vectorized") -> List[np.ndarray]:
     """ε-range queries: for each query point, the data ids within ε.
 
-    A convenience wrapper over :func:`similarity_join`, returning one sorted
-    id array per query point — the building block DBSCAN-style algorithms use
-    when they issue per-point range queries instead of a full self-join.
+    Returns one sorted id array per query point — the building block
+    DBSCAN-style algorithms use when they issue per-point range queries
+    instead of a full self-join.  The per-query arrays are CSR row slices of
+    the engine's neighbor table, produced with one bulk ``np.split``.
     """
-    output = similarity_join(queries, data, eps, index=index)
-    out: List[np.ndarray] = []
-    result = output.result
-    order = np.argsort(result.left_ids, kind="stable")
-    left_sorted = result.left_ids[order]
-    right_sorted = result.right_ids[order]
-    boundaries = np.searchsorted(left_sorted, np.arange(result.num_left + 1))
-    for q in range(result.num_left):
-        out.append(np.sort(right_sorted[boundaries[q]:boundaries[q + 1]]))
-    return out
-
-
-# --------------------------------------------------------------------------
-# internals
-# --------------------------------------------------------------------------
-def _rle(sorted_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Run-length encode a sorted id array (ids, starts, counts)."""
-    if sorted_ids.shape[0] == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy(), empty.copy()
-    change = np.empty(sorted_ids.shape[0], dtype=bool)
-    change[0] = True
-    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=change[1:])
-    starts = np.flatnonzero(change).astype(np.int64)
-    counts = np.empty_like(starts)
-    counts[:-1] = np.diff(starts)
-    counts[-1] = sorted_ids.shape[0] - starts[-1]
-    return sorted_ids[starts], starts, counts
-
-
-def _emit_group_pairs(left_pts: np.ndarray, right_pts: np.ndarray, index: GridIndex,
-                      order: np.ndarray, starts: np.ndarray, counts: np.ndarray,
-                      src_groups: np.ndarray, tgt_cells: np.ndarray, eps2: float,
-                      max_candidate_pairs: int,
-                      key_parts: List[np.ndarray], val_parts: List[np.ndarray]) -> int:
-    """Expand (query group, index cell) pairs, filter by distance, emit pairs."""
-    sizes_s = counts[src_groups].astype(np.int64)
-    sizes_t = index.cell_counts[tgt_cells].astype(np.int64)
-    starts_s = starts[src_groups].astype(np.int64)
-    starts_t = index.cell_starts[tgt_cells].astype(np.int64)
-    pair_counts = sizes_s * sizes_t
-    total = int(pair_counts.sum())
-    if total == 0:
-        return 0
-    n_dist = 0
-    lo = 0
-    n_pairs = pair_counts.shape[0]
-    while lo < n_pairs:
-        hi = lo
-        running = 0
-        while hi < n_pairs and (running == 0 or running + pair_counts[hi] <= max_candidate_pairs):
-            running += int(pair_counts[hi])
-            hi += 1
-        chunk = slice(lo, hi)
-        chunk_counts = pair_counts[chunk]
-        chunk_total = int(chunk_counts.sum())
-        if chunk_total:
-            pair_offsets = np.zeros(chunk_counts.shape[0] + 1, dtype=np.int64)
-            np.cumsum(chunk_counts, out=pair_offsets[1:])
-            pair_id = np.repeat(np.arange(chunk_counts.shape[0], dtype=np.int64), chunk_counts)
-            local = np.arange(chunk_total, dtype=np.int64) - pair_offsets[pair_id]
-            st = sizes_t[chunk][pair_id]
-            i_local = local // st
-            j_local = local - i_local * st
-            q_idx = order[starts_s[chunk][pair_id] + i_local]
-            c_idx = index.A[starts_t[chunk][pair_id] + j_local]
-            diff = left_pts[q_idx] - right_pts[c_idx]
-            dist2 = np.einsum("ij,ij->i", diff, diff)
-            n_dist += int(dist2.shape[0])
-            within = dist2 <= eps2
-            key_parts.append(q_idx[within])
-            val_parts.append(c_idx[within])
-        lo = hi
-    return n_dist
+    query = Query.range_query(data, queries, eps)
+    engine_result = execute(QueryPlanner(backend=backend).plan(query, index=index))
+    table = engine_result.neighbor_table
+    return np.split(table.neighbors, table.offsets[1:-1])

@@ -43,7 +43,7 @@ from repro.core.neighbors import (
     enumerate_candidate_cells,
     mask_filter_ranges,
 )
-from repro.core.result import ResultSet
+from repro.core.result import PairFragments, ResultSet
 from repro.core.unicomp import unicomp_candidate_cells, unicomp_offset_mask
 
 #: Default bound on the number of candidate point pairs expanded at once by
@@ -79,9 +79,15 @@ class KernelStats:
 
 @dataclass
 class KernelOutput:
-    """A kernel invocation's result pairs plus its work counters."""
+    """A kernel invocation's result pairs plus its work counters.
 
-    result: ResultSet
+    ``result`` is ``None`` when the kernel emitted into an externally
+    supplied :class:`~repro.core.result.PairFragments` sink (the CSR-native
+    engine path); the pair count is then available as ``stats.result_pairs``
+    and the pairs live in the caller's sink.
+    """
+
+    result: Optional[ResultSet]
     stats: KernelStats = field(default_factory=KernelStats)
 
 
@@ -89,7 +95,8 @@ class KernelOutput:
 # pointwise reference kernel (Algorithm 1, literal transcription)
 # --------------------------------------------------------------------------
 def selfjoin_global_pointwise(index: GridIndex, eps: Optional[float] = None,
-                              query_ids: Optional[Sequence[int]] = None) -> KernelOutput:
+                              query_ids: Optional[Sequence[int]] = None,
+                              sink: Optional[PairFragments] = None) -> KernelOutput:
     """Literal per-point transcription of Algorithm 1 (reference, slow).
 
     Parameters
@@ -101,11 +108,17 @@ def selfjoin_global_pointwise(index: GridIndex, eps: Optional[float] = None,
         configuration of the paper, where the cell side length equals ε).
     query_ids:
         Optional subset of query point ids (defaults to all points).
+    sink:
+        Optional external :class:`PairFragments` to emit into (the engine's
+        CSR-native path); when given, ``KernelOutput.result`` is ``None``.
     """
     eps = index.eps if eps is None else float(eps)
     eps2 = eps * eps
     points = index.points
     stats = KernelStats()
+    external = sink is not None
+    sink = sink if sink is not None else PairFragments(index.num_points)
+    before = sink.num_pairs
     keys: List[int] = []
     values: List[int] = []
     ids = range(index.num_points) if query_ids is None else query_ids
@@ -128,10 +141,9 @@ def selfjoin_global_pointwise(index: GridIndex, eps: Optional[float] = None,
             within = candidate_ids[dist2 <= eps2]
             keys.extend([gid] * int(within.shape[0]))
             values.extend(within.tolist())
-    result = ResultSet(keys=np.asarray(keys, dtype=np.int64),
-                       values=np.asarray(values, dtype=np.int64),
-                       num_points=index.num_points)
-    stats.result_pairs = result.num_pairs
+    sink.emit(np.asarray(keys, dtype=np.int64), np.asarray(values, dtype=np.int64))
+    stats.result_pairs = sink.num_pairs - before
+    result = None if external else sink.to_result_set()
     return KernelOutput(result=result, stats=stats)
 
 
@@ -139,14 +151,16 @@ def selfjoin_global_pointwise(index: GridIndex, eps: Optional[float] = None,
 # cellwise kernels
 # --------------------------------------------------------------------------
 def selfjoin_global_cellwise(index: GridIndex, eps: Optional[float] = None,
-                             source_cells: Optional[np.ndarray] = None) -> KernelOutput:
+                             source_cells: Optional[np.ndarray] = None,
+                             sink: Optional[PairFragments] = None) -> KernelOutput:
     """Per-cell GLOBAL kernel: every source cell scans its non-empty adjacent cells."""
     eps = index.eps if eps is None else float(eps)
     eps2 = eps * eps
     points = index.points
     stats = KernelStats()
-    key_parts: List[np.ndarray] = []
-    val_parts: List[np.ndarray] = []
+    external = sink is not None
+    sink = sink if sink is not None else PairFragments(index.num_points)
+    before = sink.num_pairs
     cells = np.arange(index.num_nonempty_cells) if source_cells is None \
         else np.asarray(source_cells, dtype=np.int64)
     for h in cells:
@@ -169,15 +183,15 @@ def selfjoin_global_cellwise(index: GridIndex, eps: Optional[float] = None,
         dist2 = np.einsum("ijk,ijk->ij", diff, diff)
         stats.distance_calcs += int(dist2.size)
         qi, ci = np.nonzero(dist2 <= eps2)
-        key_parts.append(src_ids[qi])
-        val_parts.append(cand_arr[ci])
-    result = _pairs_to_result(key_parts, val_parts, index.num_points)
-    stats.result_pairs = result.num_pairs
+        sink.emit(src_ids[qi], cand_arr[ci])
+    stats.result_pairs = sink.num_pairs - before
+    result = None if external else sink.to_result_set()
     return KernelOutput(result=result, stats=stats)
 
 
 def selfjoin_unicomp_cellwise(index: GridIndex, eps: Optional[float] = None,
-                              source_cells: Optional[np.ndarray] = None) -> KernelOutput:
+                              source_cells: Optional[np.ndarray] = None,
+                              sink: Optional[PairFragments] = None) -> KernelOutput:
     """Per-cell UNICOMP kernel following Algorithm 2's loop structure.
 
     The home cell is scanned normally (each ordered intra-cell pair emitted
@@ -189,8 +203,9 @@ def selfjoin_unicomp_cellwise(index: GridIndex, eps: Optional[float] = None,
     eps2 = eps * eps
     points = index.points
     stats = KernelStats()
-    key_parts: List[np.ndarray] = []
-    val_parts: List[np.ndarray] = []
+    external = sink is not None
+    sink = sink if sink is not None else PairFragments(index.num_points)
+    before = sink.num_pairs
     cells = np.arange(index.num_nonempty_cells) if source_cells is None \
         else np.asarray(source_cells, dtype=np.int64)
     for h in cells:
@@ -204,8 +219,7 @@ def selfjoin_unicomp_cellwise(index: GridIndex, eps: Optional[float] = None,
         dist2 = np.einsum("ijk,ijk->ij", diff, diff)
         stats.distance_calcs += int(dist2.size)
         qi, ci = np.nonzero(dist2 <= eps2)
-        key_parts.append(src_ids[qi])
-        val_parts.append(src_ids[ci])
+        sink.emit(src_ids[qi], src_ids[ci])
 
         # UNICOMP-selected neighbor cells.
         candidate_ids: List[np.ndarray] = []
@@ -225,12 +239,10 @@ def selfjoin_unicomp_cellwise(index: GridIndex, eps: Optional[float] = None,
         qi, ci = np.nonzero(dist2 <= eps2)
         q_pts = src_ids[qi]
         c_pts = cand_arr[ci]
-        key_parts.append(q_pts)
-        val_parts.append(c_pts)
-        key_parts.append(c_pts)
-        val_parts.append(q_pts)
-    result = _pairs_to_result(key_parts, val_parts, index.num_points)
-    stats.result_pairs = result.num_pairs
+        sink.emit(q_pts, c_pts)
+        sink.emit(c_pts, q_pts)
+    stats.result_pairs = sink.num_pairs - before
+    result = None if external else sink.to_result_set()
     return KernelOutput(result=result, stats=stats)
 
 
@@ -240,6 +252,7 @@ def selfjoin_unicomp_cellwise(index: GridIndex, eps: Optional[float] = None,
 def selfjoin_global_vectorized(index: GridIndex, eps: Optional[float] = None,
                                source_cells: Optional[np.ndarray] = None,
                                max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                               sink: Optional[PairFragments] = None,
                                ) -> KernelOutput:
     """Vectorized GLOBAL kernel (offset-major loop order).
 
@@ -249,8 +262,9 @@ def selfjoin_global_vectorized(index: GridIndex, eps: Optional[float] = None,
     """
     eps = index.eps if eps is None else float(eps)
     stats = KernelStats()
-    key_parts: List[np.ndarray] = []
-    val_parts: List[np.ndarray] = []
+    external = sink is not None
+    sink = sink if sink is not None else PairFragments(index.num_points)
+    before = sink.num_pairs
     cells = np.arange(index.num_nonempty_cells, dtype=np.int64) if source_cells is None \
         else np.asarray(source_cells, dtype=np.int64)
     offsets = all_neighbor_offsets(index.num_dims, include_home=True)
@@ -261,16 +275,17 @@ def selfjoin_global_vectorized(index: GridIndex, eps: Optional[float] = None,
         if src.shape[0] == 0:
             continue
         n_dist = _emit_pairs_chunked(index, src, tgt, eps, max_candidate_pairs,
-                                     key_parts, val_parts, mirror=False)
+                                     sink, mirror=False)
         stats.distance_calcs += n_dist
-    result = _pairs_to_result(key_parts, val_parts, index.num_points)
-    stats.result_pairs = result.num_pairs
+    stats.result_pairs = sink.num_pairs - before
+    result = None if external else sink.to_result_set()
     return KernelOutput(result=result, stats=stats)
 
 
 def selfjoin_unicomp_vectorized(index: GridIndex, eps: Optional[float] = None,
                                 source_cells: Optional[np.ndarray] = None,
                                 max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                                sink: Optional[PairFragments] = None,
                                 ) -> KernelOutput:
     """Vectorized UNICOMP kernel.
 
@@ -280,8 +295,9 @@ def selfjoin_unicomp_vectorized(index: GridIndex, eps: Optional[float] = None,
     """
     eps = index.eps if eps is None else float(eps)
     stats = KernelStats()
-    key_parts: List[np.ndarray] = []
-    val_parts: List[np.ndarray] = []
+    external = sink is not None
+    sink = sink if sink is not None else PairFragments(index.num_points)
+    before = sink.num_pairs
     cells = np.arange(index.num_nonempty_cells, dtype=np.int64) if source_cells is None \
         else np.asarray(source_cells, dtype=np.int64)
     offsets = all_neighbor_offsets(index.num_dims, include_home=True)
@@ -300,15 +316,16 @@ def selfjoin_unicomp_vectorized(index: GridIndex, eps: Optional[float] = None,
         if src.shape[0] == 0:
             continue
         n_dist = _emit_pairs_chunked(index, src, tgt, eps, max_candidate_pairs,
-                                     key_parts, val_parts, mirror=not is_home)
+                                     sink, mirror=not is_home)
         stats.distance_calcs += n_dist
-    result = _pairs_to_result(key_parts, val_parts, index.num_points)
-    stats.result_pairs = result.num_pairs
+    stats.result_pairs = sink.num_pairs - before
+    result = None if external else sink.to_result_set()
     return KernelOutput(result=result, stats=stats)
 
 
-#: Registry used by :class:`repro.core.selfjoin.GPUSelfJoin` to dispatch on
-#: (kernel implementation, unicomp flag).
+#: Legacy dispatch table on (kernel implementation, unicomp flag).  Kept for
+#: backward compatibility; the production dispatch now goes through the
+#: pluggable backends of :mod:`repro.engine.backends`.
 KERNELS = {
     ("pointwise", False): lambda index, eps, cells, chunk: selfjoin_global_pointwise(index, eps),
     ("cellwise", False): lambda index, eps, cells, chunk: selfjoin_global_cellwise(index, eps, cells),
@@ -356,12 +373,11 @@ def _resolve_offset_pairs(index: GridIndex, source_cells: np.ndarray,
 
 def _emit_pairs_chunked(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
                         eps: float, max_candidate_pairs: int,
-                        key_parts: List[np.ndarray], val_parts: List[np.ndarray],
-                        mirror: bool) -> int:
-    """Expand cell pairs into point pairs, filter by distance, append results.
+                        sink: PairFragments, mirror: bool) -> int:
+    """Expand cell pairs into point pairs, filter by distance, emit into ``sink``.
 
     Returns the number of distance evaluations performed.  When ``mirror`` is
-    true both ordered pairs are appended for every match (UNICOMP non-home
+    true both ordered pairs are emitted for every match (UNICOMP non-home
     offsets).
     """
     eps2 = eps * eps
@@ -383,11 +399,9 @@ def _emit_pairs_chunked(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
         within = dist2 <= eps2
         q_sel = q_idx[within]
         c_sel = c_idx[within]
-        key_parts.append(q_sel)
-        val_parts.append(c_sel)
+        sink.emit(q_sel, c_sel)
         if mirror:
-            key_parts.append(c_sel)
-            val_parts.append(q_sel)
+            sink.emit(c_sel, q_sel)
     return n_dist
 
 
@@ -437,11 +451,3 @@ def _expand_cell_pairs(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
     return q_idx, c_idx
 
 
-def _pairs_to_result(key_parts: List[np.ndarray], val_parts: List[np.ndarray],
-                     num_points: int) -> ResultSet:
-    """Concatenate per-offset/per-cell pair fragments into a ResultSet."""
-    if not key_parts:
-        return ResultSet.empty(num_points)
-    keys = np.concatenate(key_parts).astype(np.int64)
-    values = np.concatenate(val_parts).astype(np.int64)
-    return ResultSet(keys=keys, values=values, num_points=num_points)

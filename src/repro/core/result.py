@@ -1,4 +1,4 @@
-"""Result containers for the self-join.
+"""Result containers for the self-join and the CSR-native result pipeline.
 
 The GPU kernel of the paper stores results as key/value pairs — the key is
 the query point id and the value is a point found within ε (Algorithm 1,
@@ -6,12 +6,21 @@ line 17) — which are sorted after the kernel and transferred to the host.
 :class:`ResultSet` models that pair list; :class:`NeighborTable` is the
 CSR-style neighbor-list view that downstream algorithms (e.g. DBSCAN in
 :mod:`repro.apps.dbscan`) consume.
+
+The CSR-native pipeline works the other way around: kernels emit their pair
+fragments into a :class:`PairFragments` sink, and the sink finalizes either
+into a :class:`NeighborTable` directly (per-point counts via ``bincount``,
+prefix-sum offsets, one stable radix placement of the neighbor ids — no
+intermediate flat pair array is re-sorted) or into a :class:`ResultSet`
+(plain concatenation, the legacy pair-list view).  ``ResultSet`` stays the
+thin pair-list view for API compatibility and can be derived from a
+``NeighborTable`` without copying the neighbor ids.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +63,19 @@ class ResultSet:
         arr = np.asarray(pair_list, dtype=np.int64)
         return cls(keys=arr[:, 0].copy(), values=arr[:, 1].copy(),
                    num_points=int(num_points))
+
+    @classmethod
+    def from_neighbor_table(cls, table: "NeighborTable") -> "ResultSet":
+        """Thin pair-list view over a CSR :class:`NeighborTable`.
+
+        The keys are expanded from the offsets array; the neighbor array is
+        shared (not copied).  The result is sorted by construction because
+        CSR rows are stored in key order with sorted neighbor ids.
+        """
+        keys = np.repeat(np.arange(table.num_points, dtype=np.int64),
+                         table.counts())
+        return cls(keys=keys, values=table.neighbors, num_points=table.num_points,
+                   _sorted=True)
 
     @classmethod
     def merge(cls, parts: Sequence["ResultSet"]) -> "ResultSet":
@@ -155,6 +177,29 @@ class NeighborTable:
     neighbors: np.ndarray
     num_points: int
 
+    @classmethod
+    def from_pairs(cls, keys: np.ndarray, values: np.ndarray, num_points: int,
+                   ) -> "NeighborTable":
+        """Build the CSR table directly from (possibly unordered) pair arrays.
+
+        This is the CSR-native finalization: per-point counts come from one
+        ``bincount``, the offsets are their prefix sum, and the neighbor ids
+        are placed with a single stable (radix) key sort — bit-identical to
+        ``ResultSet.sort().to_neighbor_table()`` on the same pairs, without
+        materializing the sorted pair list.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        counts = np.bincount(keys, minlength=num_points).astype(np.int64)
+        offsets = np.zeros(num_points + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if keys.shape[0]:
+            order = np.lexsort((values, keys))
+            neighbors = values[order]
+        else:
+            neighbors = np.empty(0, dtype=np.int64)
+        return cls(offsets=offsets, neighbors=neighbors, num_points=int(num_points))
+
     def neighbors_of(self, i: int) -> np.ndarray:
         """Neighbor ids of point ``i``."""
         if i < 0 or i >= self.num_points:
@@ -174,6 +219,16 @@ class NeighborTable:
         """Number of neighbors of point ``i``."""
         return int(self.offsets[i + 1] - self.offsets[i])
 
+    def to_result_set(self) -> ResultSet:
+        """Legacy pair-list view of this table (see :meth:`ResultSet.from_neighbor_table`)."""
+        return ResultSet.from_neighbor_table(self)
+
+    def same_contents_as(self, other: "NeighborTable") -> bool:
+        """True when both tables store identical offsets and neighbor arrays."""
+        return (self.num_points == other.num_points
+                and np.array_equal(self.offsets, other.offsets)
+                and np.array_equal(self.neighbors, other.neighbors))
+
     def validate(self) -> None:
         """Check CSR invariants (monotone offsets, id bounds)."""
         assert self.offsets.shape[0] == self.num_points + 1
@@ -183,3 +238,64 @@ class NeighborTable:
         if self.neighbors.size:
             assert self.neighbors.min() >= 0
             assert self.neighbors.max() < self.num_points
+
+
+class PairFragments:
+    """Append-only sink for the pair fragments a kernel emits.
+
+    Kernels call :meth:`emit` once per vectorized fragment (per offset, per
+    cell, or per chunk); nothing is concatenated until a consumer asks for a
+    finalized container.  The same sink type is used for self-joins and for
+    bipartite probes (where the "key" is the probe-side row id), which gives
+    the batching executor one uniform merge path for both join types.
+    """
+
+    __slots__ = ("num_rows", "_key_parts", "_val_parts", "_num_pairs")
+
+    def __init__(self, num_rows: int) -> None:
+        self.num_rows = int(num_rows)
+        self._key_parts: List[np.ndarray] = []
+        self._val_parts: List[np.ndarray] = []
+        self._num_pairs = 0
+
+    @property
+    def num_pairs(self) -> int:
+        """Pairs emitted so far."""
+        return self._num_pairs
+
+    def emit(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append one fragment of parallel key/value id arrays."""
+        if keys.shape[0] != values.shape[0]:
+            raise ValueError("keys and values must have the same length")
+        if keys.shape[0] == 0:
+            return
+        self._key_parts.append(keys)
+        self._val_parts.append(values)
+        self._num_pairs += int(keys.shape[0])
+
+    def extend(self, other: "PairFragments") -> None:
+        """Absorb another sink's fragments (batch merge)."""
+        if other.num_rows != self.num_rows:
+            raise ValueError("merged sinks must cover the same row space")
+        self._key_parts.extend(other._key_parts)
+        self._val_parts.extend(other._val_parts)
+        self._num_pairs += other._num_pairs
+
+    def concatenated(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(keys, values)`` arrays (single concatenation, no sort)."""
+        if not self._key_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        keys = np.concatenate(self._key_parts).astype(np.int64, copy=False)
+        values = np.concatenate(self._val_parts).astype(np.int64, copy=False)
+        return keys, values
+
+    def to_result_set(self) -> ResultSet:
+        """Finalize as the legacy pair-list container."""
+        keys, values = self.concatenated()
+        return ResultSet(keys=keys, values=values, num_points=self.num_rows)
+
+    def to_neighbor_table(self) -> NeighborTable:
+        """Finalize CSR-natively (see :meth:`NeighborTable.from_pairs`)."""
+        keys, values = self.concatenated()
+        return NeighborTable.from_pairs(keys, values, self.num_rows)

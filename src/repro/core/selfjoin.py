@@ -1,6 +1,6 @@
-"""Public self-join API (GPU-SJ).
+"""Public self-join API (GPU-SJ) — a thin wrapper over :mod:`repro.engine`.
 
-:class:`GPUSelfJoin` wires the pieces of the paper's algorithm together:
+:class:`GPUSelfJoin` preserves the original API of the paper reproduction:
 
 1. build the non-empty-cell grid index with cell side length ε
    (:mod:`repro.core.gridindex`),
@@ -8,38 +8,37 @@
    (:mod:`repro.core.batching`, minimum 3 batches),
 3. run the GLOBAL or UNICOMP kernel over each batch
    (:mod:`repro.core.kernels`), and
-4. merge/sort the key-value result pairs (:mod:`repro.core.result`).
+4. merge the result fragments (:mod:`repro.core.result`).
 
-The module-level :func:`selfjoin` function is the one-call convenience entry
-point used throughout the examples and tests.
+Since the unified-query-engine refactor all of this executes through
+:mod:`repro.engine`: the configuration is translated into a
+:class:`repro.engine.query.Query` plus a
+:class:`repro.engine.planner.QueryPlanner`, the configured ``kernel``
+selects a registered execution backend, and results flow through the
+CSR-native fragment pipeline.  The module-level :func:`selfjoin` function is
+the one-call convenience entry point used throughout the examples and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.batching import (
-    BatchExecutionReport,
-    BatchPlan,
-    BatchPlanner,
-    execute_batched,
-)
+from repro.core.batching import BatchExecutionReport, BatchPlan
 from repro.core.gridindex import GridIndex, GridIndexStats
-from repro.core.kernels import (
-    DEFAULT_MAX_CANDIDATE_PAIRS,
-    KERNELS,
-    KernelOutput,
-    KernelStats,
-)
-from repro.core.result import ResultSet
+from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelStats
+from repro.core.result import NeighborTable, ResultSet
+from repro.engine.executor import EngineResult, execute
+from repro.engine.planner import QueryPlanner
+from repro.engine.query import Query
 from repro.gpusim.device import Device, DeviceSpec
 from repro.utils.timing import Timer
 from repro.utils.validation import check_eps, check_points
 
-#: Kernel implementations accepted by :class:`SelfJoinConfig.kernel`.
+#: Kernel implementations accepted by :class:`SelfJoinConfig.kernel`; these
+#: are names of registered engine backends (see ``repro.engine.backends``).
 VALID_KERNELS = ("vectorized", "cellwise", "pointwise", "simulated")
 
 
@@ -53,7 +52,7 @@ class SelfJoinConfig:
         Enable the UNICOMP work-avoidance optimization (Section V-B).  The
         paper's headline configuration ("GPU: unicomp") enables it.
     kernel:
-        Kernel implementation: ``"vectorized"`` (production),
+        Execution backend: ``"vectorized"`` (production),
         ``"cellwise"``/``"pointwise"`` (readable references) or
         ``"simulated"`` (instrumented device-model path used for Table II).
     batching:
@@ -122,13 +121,23 @@ class JoinReport:
     index_stats: GridIndexStats
     batch_plan: Optional[BatchPlan] = None
     batch_report: Optional[BatchExecutionReport] = None
+    #: Whether ``num_pairs`` still counts the trivial (p, p) self-pairs
+    #: (i.e. the join ran with ``include_self=True``).
+    includes_self_pairs: bool = True
 
     @property
     def avg_neighbors(self) -> float:
-        """Average (ordered) result pairs per point, excluding the self-pair."""
+        """Average (ordered) result pairs per point, excluding the self-pair.
+
+        When the join already dropped the self-pairs (``include_self=False``)
+        ``num_pairs`` does not count them, so nothing is subtracted.
+        """
         if self.num_points == 0:
             return 0.0
-        return max(0.0, self.num_pairs / self.num_points - 1.0)
+        avg = self.num_pairs / self.num_points
+        if self.includes_self_pairs:
+            return max(0.0, avg - 1.0)
+        return avg
 
 
 class GPUSelfJoin:
@@ -174,12 +183,9 @@ class GPUSelfJoin:
         with Timer() as build_timer:
             index = self.build_index(points, eps)
 
-        result, stats, plan, batch_report, kernel_time = self._run_kernel(index, eps)
-
-        if not self.config.include_self:
-            result = result.without_self_pairs()
-        if self.config.sort_result:
-            result = result.sort()
+        with Timer() as kernel_timer:
+            engine_result = self._run_engine(index, check_eps(eps))
+        result = engine_result.result_set
 
         total_time = total_timer.stop()
         report = JoinReport(
@@ -188,68 +194,58 @@ class GPUSelfJoin:
             num_points=index.num_points,
             num_pairs=result.num_pairs,
             index_build_time=build_timer.elapsed,
-            kernel_time=kernel_time,
+            kernel_time=kernel_timer.elapsed,
             total_time=total_time,
-            kernel_stats=stats,
+            kernel_stats=engine_result.stats,
             index_stats=index.stats(),
-            batch_plan=plan,
-            batch_report=batch_report,
+            batch_plan=engine_result.plan.batch_plan,
+            batch_report=engine_result.batch_report,
+            includes_self_pairs=self.config.include_self,
         )
         return result, report
 
     def join_index(self, index: GridIndex, eps: Optional[float] = None) -> ResultSet:
-        """Join a pre-built index (eps defaults to the index's cell length)."""
+        """Join a pre-built index (eps defaults to the index's cell length).
+
+        Runs the exact same engine path as :meth:`join`, so ``include_self``
+        and ``sort_result`` are honored identically.
+        """
         eps = index.eps if eps is None else check_eps(eps)
-        result, _, _, _, _ = self._run_kernel(index, eps)
-        if not self.config.include_self:
-            result = result.without_self_pairs()
-        if self.config.sort_result:
-            result = result.sort()
-        return result
+        return self._run_engine(index, eps).result_set
+
+    def join_table(self, points: np.ndarray, eps: float) -> NeighborTable:
+        """Compute the self-join as a CSR :class:`NeighborTable` directly.
+
+        This is the CSR-native hot path used by the applications (DBSCAN,
+        kNN): the kernels' pair fragments are finalized straight into
+        per-point counts + prefix-sum offsets without materializing (or
+        re-sorting) the flat pair list.
+        """
+        index = self.build_index(points, eps)
+        return self._run_engine(index, check_eps(eps)).neighbor_table
 
     # -------------------------------------------------------------- internals
-    def _kernel_fn(self):
-        """Resolve the configured kernel callable with the KernelFn signature."""
+    def _planner(self) -> QueryPlanner:
         cfg = self.config
-        if cfg.kernel == "simulated":
-            from repro.core.simkernels import simulated_selfjoin
+        return QueryPlanner(
+            backend=cfg.kernel,
+            device=self.device,
+            batching=cfg.batching,
+            min_batches=cfg.min_batches,
+            max_candidate_pairs=cfg.max_candidate_pairs,
+            n_streams=cfg.n_streams,
+            threads_per_block=cfg.threads_per_block,
+            max_dims=cfg.max_dims,
+        )
 
-            def kernel(index: GridIndex, eps: float, cells) -> KernelOutput:
-                # The simulated path has no cell-subset support (it is
-                # per-point, like the CUDA kernel); it is never batched.
-                out = simulated_selfjoin(index, eps, unicomp=cfg.unicomp,
-                                         device=self.device,
-                                         threads_per_block=cfg.threads_per_block)
-                return KernelOutput(result=out.result, stats=KernelStats(
-                    result_pairs=out.result.num_pairs))
-            return kernel
-
-        impl = KERNELS[(cfg.kernel, cfg.unicomp)]
-
-        def kernel(index: GridIndex, eps: float, cells) -> KernelOutput:
-            return impl(index, eps, cells, cfg.max_candidate_pairs)
-
-        return kernel
-
-    def _run_kernel(self, index: GridIndex, eps: float):
-        """Run the configured kernel, batched or not; returns run artefacts."""
+    def _run_engine(self, index: GridIndex, eps: float) -> EngineResult:
         cfg = self.config
-        kernel = self._kernel_fn()
-        plan: Optional[BatchPlan] = None
-        batch_report: Optional[BatchExecutionReport] = None
-
-        use_batching = cfg.batching and cfg.kernel in ("vectorized", "cellwise")
-        with Timer() as kernel_timer:
-            if use_batching:
-                planner = BatchPlanner(device=self.device, min_batches=cfg.min_batches)
-                plan = planner.plan(index, eps, kernel=kernel)
-                result, stats, batch_report = execute_batched(
-                    index, eps, plan, kernel, device=self.device,
-                    n_streams=cfg.n_streams)
-            else:
-                output = kernel(index, eps, None)
-                result, stats = output.result, output.stats
-        return result, stats, plan, batch_report, kernel_timer.elapsed
+        query = Query.self_join(index.points, eps, unicomp=cfg.unicomp,
+                                include_self=cfg.include_self,
+                                sort_result=cfg.sort_result,
+                                batching=cfg.batching)
+        plan = self._planner().plan(query, index=index)
+        return execute(plan)
 
 
 def selfjoin(points: np.ndarray, eps: float, *, unicomp: bool = True,

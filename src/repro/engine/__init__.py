@@ -1,0 +1,105 @@
+"""repro.engine — the unified query engine.
+
+The paper frames the distance-similarity self-join as "a special case of a
+join operation on two different sets of data points".  This package is that
+generalization made executable: one declarative :class:`Query` description
+covers the self-join, the bipartite similarity join, per-query ε-range
+queries and kNN candidate generation; one :class:`QueryPlanner` decides the
+physical strategy (which side to index, whether UNICOMP applies, how to
+decompose the work into batches against the device model); and one pluggable
+:class:`ExecutionBackend` registry supplies the kernels.  Every workload in
+the repo — ``selfjoin()``, ``similarity_join()``, DBSCAN, kNN, catalog
+cross-matching, the experiment harness — flows through this seam, so a new
+backend (sharded, multi-process, a real GPU) plugs in exactly once.
+
+Results move through the CSR-native pipeline: kernels emit pair fragments
+into :class:`~repro.core.result.PairFragments` sinks, and the
+:class:`EngineResult` materializes either the legacy flat
+:class:`~repro.core.result.ResultSet` pair list or the CSR
+:class:`~repro.core.result.NeighborTable` (per-point counts + prefix-sum
+offsets) directly — the pair-list → CSR conversion that used to sit on the
+DBSCAN/kNN hot path is gone.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.engine import Query, run_query
+>>> rng = np.random.default_rng(0)
+>>> points = rng.uniform(0.0, 10.0, size=(1000, 2))
+>>> result = run_query(Query.self_join(points, eps=0.5))
+>>> table = result.neighbor_table          # CSR, no pair list materialized
+>>> int(table.num_pairs) == result.num_pairs
+True
+>>> catalog = rng.uniform(0.0, 10.0, size=(500, 2))
+>>> matches = run_query(Query.bipartite_join(points, catalog, eps=0.3))
+>>> matches.neighbor_table.num_points      # CSR rows = left-side points
+1000
+
+Backends are chosen per planner: ``run_query(query, backend="cellwise")``
+or ``QueryPlanner(backend="simulated")``; ``list_backends()`` enumerates
+the registry and :func:`register_backend` adds new ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.gridindex import GridIndex
+from repro.engine.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.engine.executor import EngineResult, execute
+from repro.engine.planner import QueryPlan, QueryPlanner
+from repro.engine.query import (
+    BIPARTITE_JOIN,
+    KNN_CANDIDATES,
+    QUERY_KINDS,
+    RANGE_QUERY,
+    SELF_JOIN,
+    Query,
+)
+
+__all__ = [
+    "Query",
+    "QueryPlan",
+    "QueryPlanner",
+    "EngineResult",
+    "ExecutionBackend",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "execute",
+    "run_query",
+    "QUERY_KINDS",
+    "SELF_JOIN",
+    "BIPARTITE_JOIN",
+    "RANGE_QUERY",
+    "KNN_CANDIDATES",
+]
+
+
+def run_query(query: Query, index: Optional[GridIndex] = None,
+              planner: Optional[QueryPlanner] = None,
+              **planner_kwargs) -> EngineResult:
+    """Plan and execute ``query`` in one call.
+
+    Parameters
+    ----------
+    query:
+        The declarative query description.
+    index:
+        Optional pre-built grid index over the indexed side.
+    planner:
+        Optional pre-configured :class:`QueryPlanner`; mutually exclusive
+        with ``planner_kwargs`` (e.g. ``backend="cellwise"``), which are
+        forwarded to a fresh planner.
+    """
+    if planner is not None and planner_kwargs:
+        raise ValueError("pass either a planner instance or planner kwargs, not both")
+    planner = planner or QueryPlanner(**planner_kwargs)
+    return execute(planner.plan(query, index=index))

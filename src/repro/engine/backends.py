@@ -1,0 +1,446 @@
+"""Pluggable execution backends for the unified query engine.
+
+An :class:`ExecutionBackend` knows how to run the two physical operators
+every query kind reduces to:
+
+``run_selfjoin``
+    The grid self-join over an optional subset of source cells (so the
+    batching scheme of Section V-A applies uniformly).
+``run_probe``
+    The bipartite probe: an external query set is searched against the grid
+    index with the same bounded 3^n adjacent-cell walk, over an optional
+    subset of query rows.
+
+Both operators emit pair fragments into a
+:class:`~repro.core.result.PairFragments` sink — the CSR-native result
+pipeline — and return the paper's :class:`~repro.core.kernels.KernelStats`
+work counters.  Backends register themselves in :data:`BACKENDS` via
+:func:`register_backend`; this registry replaces the old
+``KERNELS[(kernel, unicomp)]`` dispatch dict and the bespoke probe loop that
+used to live in :mod:`repro.core.join`.
+
+Available backends:
+
+* ``vectorized`` — the production path (offset-major NumPy kernels).
+* ``cellwise`` — readable per-cell reference.
+* ``pointwise`` — literal Algorithm 1 transcription (reference, slow).
+* ``simulated`` — instrumented device-model path (Table II); probes fall
+  back to the pointwise reference since the paper's device model only
+  covers the self-join kernels.
+* ``bruteforce`` — index-free chunked all-pairs reference.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.core import linearize as lin
+from repro.core.gridindex import GridIndex
+from repro.core.kernels import (
+    DEFAULT_MAX_CANDIDATE_PAIRS,
+    KernelStats,
+    selfjoin_global_cellwise,
+    selfjoin_global_pointwise,
+    selfjoin_global_vectorized,
+    selfjoin_unicomp_cellwise,
+    selfjoin_unicomp_vectorized,
+)
+from repro.core.neighbors import (
+    adjacent_ranges,
+    all_neighbor_offsets,
+    enumerate_candidate_cells,
+    mask_filter_ranges,
+)
+from repro.core.result import PairFragments
+
+
+class ExecutionBackend(abc.ABC):
+    """One way of physically executing grid joins and probes.
+
+    Class attributes advertise planner-relevant capabilities:
+
+    ``supports_cell_subset``
+        The self-join operator accepts a source-cell subset, so the batching
+        scheme can split its work.
+    ``supports_unicomp``
+        The self-join operator has a UNICOMP variant.
+    """
+
+    name: str = "abstract"
+    supports_cell_subset: bool = False
+    supports_unicomp: bool = False
+
+    @abc.abstractmethod
+    def run_selfjoin(self, index: GridIndex, eps: float,
+                     cells: Optional[np.ndarray], sink: PairFragments, *,
+                     unicomp: bool = False,
+                     max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block: int = 256) -> KernelStats:
+        """Self-join ``index`` over ``cells`` (all when ``None``), emit into ``sink``."""
+
+    @abc.abstractmethod
+    def run_probe(self, queries: np.ndarray, index: GridIndex, eps: float,
+                  sink: PairFragments, *, rows: Optional[np.ndarray] = None,
+                  max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                  ) -> KernelStats:
+        """Probe ``queries[rows]`` against ``index``; emit (row, data id) pairs.
+
+        Keys emitted into ``sink`` are *global* row indices into ``queries``.
+        Correct only for ``eps <= index.eps`` (the adjacent-cell walk is
+        bounded to one cell layer, as everywhere in the paper).
+        """
+
+
+#: Registry of available backends by name.
+BACKENDS: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Class decorator: instantiate and register a backend under ``cls.name``."""
+    BACKENDS[cls.name] = cls()
+    return cls
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a backend (raises ``KeyError`` listing the known names)."""
+    try:
+        return BACKENDS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown backend {name!r}; known: {sorted(BACKENDS)}") from exc
+
+
+def list_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(BACKENDS)
+
+
+# --------------------------------------------------------------------------
+# shared probe helpers (moved here from the bespoke loop in core/join.py)
+# --------------------------------------------------------------------------
+def _rle(sorted_ids: np.ndarray):
+    """Run-length encode a sorted id array (ids, starts, counts)."""
+    if sorted_ids.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    change = np.empty(sorted_ids.shape[0], dtype=bool)
+    change[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=change[1:])
+    starts = np.flatnonzero(change).astype(np.int64)
+    counts = np.empty_like(starts)
+    counts[:-1] = np.diff(starts)
+    counts[-1] = sorted_ids.shape[0] - starts[-1]
+    return sorted_ids[starts], starts, counts
+
+
+def _probe_rows(queries: np.ndarray, rows: Optional[np.ndarray]) -> np.ndarray:
+    """Resolve the probed row subset (all rows when ``None``)."""
+    if rows is None:
+        return np.arange(queries.shape[0], dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def _reject_cell_subset(backend: ExecutionBackend, cells) -> None:
+    """Fail fast when a cell batch reaches a backend that cannot honor it.
+
+    Silently ignoring the subset would emit the *full* self-join once per
+    batch, duplicating every result pair.
+    """
+    if cells is not None:
+        raise ValueError(f"the {backend.name!r} backend does not support "
+                         "source-cell subsets (supports_cell_subset=False)")
+
+
+def _vectorized_probe(queries: np.ndarray, index: GridIndex, eps: float,
+                      sink: PairFragments, rows: Optional[np.ndarray],
+                      max_candidate_pairs: int) -> KernelStats:
+    """Offset-major bipartite probe (production path).
+
+    The query points are grouped by their cell coordinates *in the index's
+    grid* so the adjacent-cell resolution is shared by co-located queries;
+    for each of the 3^n offsets, all (query group, index cell) pairs are
+    resolved with one vectorized binary search and their candidate point
+    pairs expanded and distance-filtered in bounded chunks.
+    """
+    stats = KernelStats()
+    rows = _probe_rows(queries, rows)
+    if rows.shape[0] == 0:
+        return stats
+    probe_pts = queries[rows]
+    eps2 = eps * eps
+
+    coords = lin.compute_cell_coords(probe_pts, index.gmin, index.eps,
+                                     index.num_cells)
+    cell_ids = lin.linearize(coords, index.strides)
+    order = np.argsort(cell_ids, kind="stable")
+    sorted_ids = cell_ids[order]
+    unique_ids, starts, counts = _rle(sorted_ids)
+    group_coords = lin.delinearize(unique_ids, index.num_cells)
+
+    before = sink.num_pairs
+    offsets = all_neighbor_offsets(index.num_dims, include_home=True)
+    for offset in offsets:
+        neighbor = group_coords + offset[None, :]
+        inside = np.all((neighbor >= 0) & (neighbor < index.num_cells[None, :]),
+                        axis=1)
+        for j, mask in enumerate(index.masks):
+            if not inside.any():
+                break
+            pos = np.searchsorted(mask, neighbor[:, j])
+            pos = np.minimum(pos, mask.shape[0] - 1)
+            inside &= mask[pos] == neighbor[:, j]
+        candidates = np.flatnonzero(inside)
+        stats.cells_checked += int(candidates.shape[0])
+        if candidates.shape[0] == 0:
+            continue
+        linear = lin.linearize(neighbor[candidates], index.strides)
+        target = index.lookup_cells(linear)
+        found = target >= 0
+        src_groups = candidates[found]
+        tgt_cells = target[found]
+        stats.nonempty_cells_visited += int(src_groups.shape[0])
+        if src_groups.shape[0] == 0:
+            continue
+        stats.distance_calcs += _emit_group_pairs(
+            probe_pts, rows, index, order, starts, counts, src_groups,
+            tgt_cells, eps2, max_candidate_pairs, sink)
+    stats.result_pairs = sink.num_pairs - before
+    return stats
+
+
+def _emit_group_pairs(probe_pts: np.ndarray, rows: np.ndarray, index: GridIndex,
+                      order: np.ndarray, starts: np.ndarray, counts: np.ndarray,
+                      src_groups: np.ndarray, tgt_cells: np.ndarray, eps2: float,
+                      max_candidate_pairs: int, sink: PairFragments) -> int:
+    """Expand (query group, index cell) pairs, filter by distance, emit pairs."""
+    sizes_s = counts[src_groups].astype(np.int64)
+    sizes_t = index.cell_counts[tgt_cells].astype(np.int64)
+    starts_s = starts[src_groups].astype(np.int64)
+    starts_t = index.cell_starts[tgt_cells].astype(np.int64)
+    pair_counts = sizes_s * sizes_t
+    if int(pair_counts.sum()) == 0:
+        return 0
+    n_dist = 0
+    lo = 0
+    n_pairs = pair_counts.shape[0]
+    while lo < n_pairs:
+        hi = lo
+        running = 0
+        while hi < n_pairs and (running == 0
+                                or running + pair_counts[hi] <= max_candidate_pairs):
+            running += int(pair_counts[hi])
+            hi += 1
+        chunk = slice(lo, hi)
+        chunk_counts = pair_counts[chunk]
+        chunk_total = int(chunk_counts.sum())
+        if chunk_total:
+            pair_offsets = np.zeros(chunk_counts.shape[0] + 1, dtype=np.int64)
+            np.cumsum(chunk_counts, out=pair_offsets[1:])
+            pair_id = np.repeat(np.arange(chunk_counts.shape[0], dtype=np.int64),
+                                chunk_counts)
+            local = np.arange(chunk_total, dtype=np.int64) - pair_offsets[pair_id]
+            st = sizes_t[chunk][pair_id]
+            i_local = local // st
+            j_local = local - i_local * st
+            q_idx = order[starts_s[chunk][pair_id] + i_local]
+            c_idx = index.A[starts_t[chunk][pair_id] + j_local]
+            diff = probe_pts[q_idx] - index.points[c_idx]
+            dist2 = np.einsum("ij,ij->i", diff, diff)
+            n_dist += int(dist2.shape[0])
+            within = dist2 <= eps2
+            sink.emit(rows[q_idx[within]], c_idx[within])
+        lo = hi
+    return n_dist
+
+
+def _pointwise_probe(queries: np.ndarray, index: GridIndex, eps: float,
+                     sink: PairFragments, rows: Optional[np.ndarray]) -> KernelStats:
+    """Per-query-point reference probe (literal adjacent-cell walk)."""
+    stats = KernelStats()
+    rows = _probe_rows(queries, rows)
+    eps2 = eps * eps
+    before = sink.num_pairs
+    for row in rows:
+        point = queries[row]
+        coords = lin.compute_cell_coords(point[None, :], index.gmin, index.eps,
+                                         index.num_cells)[0]
+        ranges = adjacent_ranges(coords, index.num_cells)
+        filtered = mask_filter_ranges(ranges, index.masks)
+        for cand in enumerate_candidate_cells(filtered):
+            stats.cells_checked += 1
+            h = index.lookup_cell(int(index.coords_to_linear(cand)))
+            if h < 0:
+                continue
+            stats.nonempty_cells_visited += 1
+            candidate_ids = index.points_in_cell(h)
+            diff = index.points[candidate_ids] - point
+            dist2 = np.einsum("ij,ij->i", diff, diff)
+            stats.distance_calcs += int(candidate_ids.shape[0])
+            within = candidate_ids[dist2 <= eps2]
+            sink.emit(np.full(within.shape[0], row, dtype=np.int64), within)
+    stats.result_pairs = sink.num_pairs - before
+    return stats
+
+
+def _cellwise_probe(queries: np.ndarray, index: GridIndex, eps: float,
+                    sink: PairFragments, rows: Optional[np.ndarray]) -> KernelStats:
+    """Per-query-cell-group reference probe (vectorized distances per group)."""
+    stats = KernelStats()
+    rows = _probe_rows(queries, rows)
+    if rows.shape[0] == 0:
+        return stats
+    eps2 = eps * eps
+    probe_pts = queries[rows]
+    coords = lin.compute_cell_coords(probe_pts, index.gmin, index.eps,
+                                     index.num_cells)
+    cell_ids = lin.linearize(coords, index.strides)
+    order = np.argsort(cell_ids, kind="stable")
+    unique_ids, starts, counts = _rle(cell_ids[order])
+    group_coords = lin.delinearize(unique_ids, index.num_cells)
+    before = sink.num_pairs
+    for g in range(unique_ids.shape[0]):
+        members = order[starts[g]:starts[g] + counts[g]]
+        ranges = adjacent_ranges(group_coords[g], index.num_cells)
+        filtered = mask_filter_ranges(ranges, index.masks)
+        candidate_ids: List[np.ndarray] = []
+        for cand in enumerate_candidate_cells(filtered):
+            stats.cells_checked += 1
+            h = index.lookup_cell(int(index.coords_to_linear(cand)))
+            if h < 0:
+                continue
+            stats.nonempty_cells_visited += 1
+            candidate_ids.append(index.points_in_cell(h))
+        if not candidate_ids:
+            continue
+        cand_arr = np.concatenate(candidate_ids)
+        diff = probe_pts[members][:, None, :] - index.points[cand_arr][None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        stats.distance_calcs += int(dist2.size)
+        qi, ci = np.nonzero(dist2 <= eps2)
+        sink.emit(rows[members[qi]], cand_arr[ci])
+    stats.result_pairs = sink.num_pairs - before
+    return stats
+
+
+# --------------------------------------------------------------------------
+# backends
+# --------------------------------------------------------------------------
+@register_backend
+class VectorizedBackend(ExecutionBackend):
+    """Production path: offset-major vectorized kernels and probe."""
+
+    name = "vectorized"
+    supports_cell_subset = True
+    supports_unicomp = True
+
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        kernel = selfjoin_unicomp_vectorized if unicomp else selfjoin_global_vectorized
+        return kernel(index, eps, cells, max_candidate_pairs, sink=sink).stats
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        return _vectorized_probe(queries, index, eps, sink, rows,
+                                 max_candidate_pairs)
+
+
+@register_backend
+class CellwiseBackend(ExecutionBackend):
+    """Readable per-cell reference implementation."""
+
+    name = "cellwise"
+    supports_cell_subset = True
+    supports_unicomp = True
+
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        kernel = selfjoin_unicomp_cellwise if unicomp else selfjoin_global_cellwise
+        return kernel(index, eps, cells, sink=sink).stats
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        return _cellwise_probe(queries, index, eps, sink, rows)
+
+
+@register_backend
+class PointwiseBackend(ExecutionBackend):
+    """Literal Algorithm 1 transcription (reference, slow; no UNICOMP)."""
+
+    name = "pointwise"
+
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        if unicomp:
+            raise ValueError("the pointwise reference kernel has no UNICOMP variant")
+        _reject_cell_subset(self, cells)
+        return selfjoin_global_pointwise(index, eps, sink=sink).stats
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        return _pointwise_probe(queries, index, eps, sink, rows)
+
+
+@register_backend
+class SimulatedBackend(ExecutionBackend):
+    """Instrumented device-model path (per-thread simulation, Table II)."""
+
+    name = "simulated"
+    supports_unicomp = True
+
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        from repro.core.simkernels import simulated_selfjoin
+        from repro.gpusim.device import Device
+
+        _reject_cell_subset(self, cells)
+        out = simulated_selfjoin(index, eps, unicomp=unicomp,
+                                 device=device or Device(),
+                                 threads_per_block=threads_per_block)
+        sink.emit(out.result.keys, out.result.values)
+        return KernelStats(result_pairs=out.result.num_pairs)
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        # The device model only covers the self-join kernels; probes use the
+        # uninstrumented pointwise reference.
+        return _pointwise_probe(queries, index, eps, sink, rows)
+
+
+@register_backend
+class BruteForceBackend(ExecutionBackend):
+    """Index-free chunked all-pairs reference (ε-independent work).
+
+    Both operators delegate to the one shared chunked scan in
+    :func:`repro.baselines.bruteforce.allpairs_emit`, which keeps the
+    ε-boundary decision bit-identical to the grid kernels'.
+    """
+
+    name = "bruteforce"
+
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        _reject_cell_subset(self, cells)
+        return self._all_pairs(index.points, index.points, eps, sink, None)
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        return self._all_pairs(queries, index.points, eps, sink, rows)
+
+    @staticmethod
+    def _all_pairs(queries: np.ndarray, data: np.ndarray, eps: float,
+                   sink: PairFragments, rows: Optional[np.ndarray]) -> KernelStats:
+        from repro.baselines.bruteforce import allpairs_emit
+
+        stats = KernelStats()
+        before = sink.num_pairs
+        stats.distance_calcs = allpairs_emit(queries, data, eps, sink,
+                                             rows=_probe_rows(queries, rows))
+        stats.result_pairs = sink.num_pairs - before
+        return stats

@@ -1,0 +1,272 @@
+"""Sink-based plan execution with one uniform batched merge path.
+
+:func:`execute` runs a :class:`~repro.engine.planner.QueryPlan` on its
+backend.  Every operator — batched or not, self-join or probe — emits pair
+fragments into :class:`~repro.core.result.PairFragments` sinks; batches use
+per-batch sinks (so a batch that overflows the planned result buffer can be
+discarded and split, exactly like a re-issued device kernel) that are merged
+by reference into one master sink.  Nothing is concatenated, sorted or
+re-keyed until the caller materializes a view from the returned
+:class:`EngineResult`:
+
+``result_set``
+    The legacy flat pair list (one concatenation, no sort unless the query
+    asked for ``sort_result``).
+``neighbor_table``
+    The CSR neighbor table, built natively from the fragments (bincount →
+    prefix-sum offsets → one stable placement); this is the hot path for
+    DBSCAN / kNN and never materializes the intermediate pair list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batching import (
+    PAIR_BYTES,
+    BatchExecutionReport,
+    BatchPlan,
+    run_adaptive_batches,
+)
+from repro.core.gridindex import GridIndex
+from repro.core.kernels import KernelStats
+from repro.core.result import NeighborTable, PairFragments, ResultSet
+from repro.engine import query as Q
+from repro.engine.planner import QueryPlan
+from repro.gpusim.streams import simulate_pipeline
+from repro.utils.timing import Timer
+
+#: Rounds of radius doubling before the kNN candidate search falls back to
+#: an exhaustive scan for the still-unsatisfied queries.
+MAX_KNN_ROUNDS = 64
+
+
+@dataclass
+class EngineResult:
+    """Outcome of an engine execution, materialized lazily."""
+
+    plan: QueryPlan
+    stats: KernelStats
+    fragments: PairFragments
+    batch_report: Optional[BatchExecutionReport] = None
+    kernel_time: float = 0.0
+    _pairs: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False)
+    _result_set: Optional[ResultSet] = field(default=None, repr=False)
+    _table: Optional[NeighborTable] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ views
+    def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(keys, values)`` pair arrays in emission order.
+
+        Swapped bipartite plans are mirrored back here, and self-join
+        self-pairs are dropped when the query excluded them, so every view
+        below sees the same cleaned pair stream.
+        """
+        if self._pairs is None:
+            keys, values = self.fragments.concatenated()
+            if self.plan.swapped:
+                keys, values = values, keys
+            if self.plan.query.kind == Q.SELF_JOIN \
+                    and not self.plan.query.include_self and keys.shape[0]:
+                keep = keys != values
+                keys, values = keys[keep], values[keep]
+            self._pairs = (keys, values)
+        return self._pairs
+
+    @property
+    def num_pairs(self) -> int:
+        """Result pairs after self-pair filtering."""
+        return int(self.pairs()[0].shape[0])
+
+    @property
+    def result_set(self) -> ResultSet:
+        """Legacy pair-list view (sorted only when the query asked for it)."""
+        if self._result_set is None:
+            keys, values = self.pairs()
+            result = ResultSet(keys=keys, values=values,
+                               num_points=self.plan.num_rows)
+            if self.plan.query.sort_result:
+                result = result.sort()
+            self._result_set = result
+        return self._result_set
+
+    @property
+    def neighbor_table(self) -> NeighborTable:
+        """CSR view, built natively from the fragments (rows sorted by id)."""
+        if self._table is None:
+            keys, values = self.pairs()
+            self._table = NeighborTable.from_pairs(keys, values,
+                                                   self.plan.num_rows)
+        return self._table
+
+
+def execute(plan: QueryPlan) -> EngineResult:
+    """Run a plan on its backend and return the (lazy) result."""
+    kind = plan.query.kind
+    with Timer() as timer:
+        if kind == Q.SELF_JOIN:
+            result = _execute_self_join(plan)
+        elif kind in (Q.BIPARTITE_JOIN, Q.RANGE_QUERY):
+            result = _execute_probe(plan)
+        elif kind == Q.KNN_CANDIDATES:
+            result = _execute_knn_candidates(plan)
+        else:
+            raise ValueError(f"unexecutable query kind {kind!r}")
+    result.kernel_time = timer.elapsed
+    return result
+
+
+# --------------------------------------------------------------------------
+# operators
+# --------------------------------------------------------------------------
+def _run_batched_merge(plan: QueryPlan, report_plan: BatchPlan, run_batch,
+                       master: PairFragments, stats: KernelStats,
+                       ) -> BatchExecutionReport:
+    """The one batched merge path shared by self-joins and probes.
+
+    Runs ``run_batch`` over ``report_plan``'s batches with adaptive overflow
+    splitting, absorbs each per-batch sink and its counters, and attaches
+    the stream-overlap timeline.
+    """
+    report = BatchExecutionReport(plan=report_plan)
+    payloads, report.batch_pairs, report.batch_times, report.splits_performed = \
+        run_adaptive_batches(report_plan.cell_batches, run_batch,
+                             report_plan.buffer_capacity_pairs)
+    for sink, batch_stats in payloads:
+        master.extend(sink)
+        stats.merge(batch_stats)
+    report.pipeline = simulate_pipeline(
+        report.batch_times,
+        [p * PAIR_BYTES for p in report.batch_pairs],
+        pcie_bandwidth_gbps=plan.device.spec.pcie_bandwidth_gbps,
+        n_streams=plan.n_streams,
+    )
+    return report
+
+
+def _execute_self_join(plan: QueryPlan) -> EngineResult:
+    index = plan.index
+    master = PairFragments(index.num_points)
+    stats = KernelStats()
+
+    if plan.batch_plan is None:
+        stats.merge(plan.backend.run_selfjoin(
+            index, plan.eps, None, master, unicomp=plan.unicomp,
+            max_candidate_pairs=plan.max_candidate_pairs,
+            device=plan.device, threads_per_block=plan.threads_per_block))
+        return EngineResult(plan=plan, stats=stats, fragments=master)
+
+    def run_batch(cells: np.ndarray):
+        sink = PairFragments(index.num_points)
+        batch_stats = plan.backend.run_selfjoin(
+            index, plan.eps, cells, sink, unicomp=plan.unicomp,
+            max_candidate_pairs=plan.max_candidate_pairs,
+            device=plan.device, threads_per_block=plan.threads_per_block)
+        return sink.num_pairs, (sink, batch_stats)
+
+    report = _run_batched_merge(plan, plan.batch_plan, run_batch, master, stats)
+    return EngineResult(plan=plan, stats=stats, fragments=master,
+                        batch_report=report)
+
+
+def _execute_probe(plan: QueryPlan) -> EngineResult:
+    queries = plan.probe_points
+    master = PairFragments(queries.shape[0])
+    stats = KernelStats()
+
+    if plan.probe_batches is None:
+        stats.merge(plan.backend.run_probe(
+            queries, plan.index, plan.eps, master,
+            max_candidate_pairs=plan.max_candidate_pairs))
+        return _probe_result(plan, stats, master, None)
+
+    def run_batch(rows: np.ndarray):
+        sink = PairFragments(queries.shape[0])
+        batch_stats = plan.backend.run_probe(
+            queries, plan.index, plan.eps, sink, rows=rows,
+            max_candidate_pairs=plan.max_candidate_pairs)
+        return sink.num_pairs, (sink, batch_stats)
+
+    # Probes have no planned device buffer ("cell_batches" hold query-row
+    # batches here); batching exists purely for the transfer/compute
+    # overlap, so the capacity is unbounded and no adaptive split occurs.
+    pseudo_plan = BatchPlan(cell_batches=plan.probe_batches,
+                            estimated_total_pairs=0,
+                            buffer_capacity_pairs=np.iinfo(np.int64).max)
+    report = _run_batched_merge(plan, pseudo_plan, run_batch, master, stats)
+    return _probe_result(plan, stats, master, report)
+
+
+def _probe_result(plan: QueryPlan, stats: KernelStats, master: PairFragments,
+                  report: Optional[BatchExecutionReport]) -> EngineResult:
+    # For a swapped bipartite join the sink rows are right-side rows; the
+    # result views re-key on the left side, which has plan.num_rows rows.
+    if plan.swapped:
+        master.num_rows = plan.num_rows
+    return EngineResult(plan=plan, stats=stats, fragments=master,
+                        batch_report=report)
+
+
+def _execute_knn_candidates(plan: QueryPlan) -> EngineResult:
+    """Adaptive-radius candidate generation (exactness argument below).
+
+    If a query has at least k candidates (excluding the query point itself
+    when required) within radius r, its k-th nearest neighbor lies within r
+    — so *all* its true k nearest neighbors are among the points within r,
+    which is exactly the candidate row emitted.  Queries that come up short
+    are re-probed with a doubled radius against a rebuilt index.
+    """
+    query = plan.query
+    data = plan.index.points
+    queries = data if query.queries is None else query.queries
+    n_q = queries.shape[0]
+    n = data.shape[0]
+    exclude_self = query.is_self_query and not query.include_self
+    required = min(query.k, n - 1 if exclude_self else n)
+
+    master = PairFragments(n_q)
+    stats = KernelStats()
+    index = plan.index
+    radius = plan.eps
+    remaining = np.arange(n_q, dtype=np.int64)
+
+    for _ in range(MAX_KNN_ROUNDS):
+        round_sink = PairFragments(n_q)
+        stats.merge(plan.backend.run_probe(
+            queries, index, radius, round_sink, rows=remaining,
+            max_candidate_pairs=plan.max_candidate_pairs))
+        keys, values = round_sink.concatenated()
+        if exclude_self and keys.shape[0]:
+            keep = keys != values
+            keys, values = keys[keep], values[keep]
+        counts = np.bincount(keys, minlength=n_q)
+        satisfied = counts[remaining] >= required
+        finished = remaining[satisfied]
+        if finished.shape[0]:
+            selected = np.zeros(n_q, dtype=bool)
+            selected[finished] = True
+            take = selected[keys]
+            master.emit(keys[take], values[take])
+        remaining = remaining[~satisfied]
+        if remaining.shape[0] == 0:
+            break
+        radius *= 2.0
+        index = GridIndex.build(data, radius)
+
+    if remaining.shape[0]:
+        # Degenerate grids / extreme outliers: hand the stragglers every
+        # data point (the top-k selection downstream stays exact).
+        keys = np.repeat(remaining, n)
+        values = np.tile(np.arange(n, dtype=np.int64), remaining.shape[0])
+        if exclude_self:
+            keep = keys != values
+            keys, values = keys[keep], values[keep]
+        master.emit(keys, values)
+        stats.distance_calcs += int(remaining.shape[0]) * n
+
+    stats.result_pairs = master.num_pairs
+    return EngineResult(plan=plan, stats=stats, fragments=master)

@@ -1,0 +1,210 @@
+"""Query planning: index-side selection, batching and UNICOMP eligibility.
+
+The :class:`QueryPlanner` turns a declarative :class:`~repro.engine.query.Query`
+into an executable :class:`QueryPlan`:
+
+1. **Index side selection** — self-joins index their one dataset; bipartite
+   joins index the larger side (which maximizes pruning) and record whether
+   the sides were swapped so the executor can mirror the emitted pairs back.
+   Range queries and kNN candidates always index the data side, because the
+   CSR result is keyed by query row.
+2. **Batch decomposition** — when the backend supports cell subsets, the
+   existing :class:`~repro.core.batching.BatchPlanner` sizes the result
+   buffer against the device model and splits the non-empty cells into at
+   least ``min_batches`` batches; probe-side work is split into contiguous
+   query-row batches, so both join types flow through the same batched
+   executor.
+3. **UNICOMP eligibility** — the work-avoidance rule applies to self-joins
+   on backends that implement it; it is silently disabled where it cannot
+   apply (bipartite probes, brute force).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.batching import BatchPlan, BatchPlanner
+from repro.core.gridindex import GridIndex
+from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelOutput
+from repro.core.result import PairFragments
+from repro.engine import query as Q
+from repro.engine.backends import ExecutionBackend, get_backend
+from repro.gpusim.device import Device, DeviceSpec
+from repro.utils.timing import Timer
+from repro.utils.validation import check_points
+
+
+@dataclass
+class QueryPlan:
+    """An executable physical plan for one query."""
+
+    query: Q.Query
+    backend: ExecutionBackend
+    index: GridIndex
+    #: Probe-side points (``None`` for self-joins).
+    probe_points: Optional[np.ndarray]
+    #: True when a bipartite join indexed the left side; emitted pairs are
+    #: (right row, left id) and are mirrored back at materialization.
+    swapped: bool
+    #: UNICOMP after eligibility resolution.
+    unicomp: bool
+    #: Effective search distance (kNN candidates: the initial probe radius).
+    eps: float
+    #: Cell-batch decomposition of a self-join (``None`` when unbatched).
+    batch_plan: Optional[BatchPlan]
+    #: Query-row batches of a batched probe (``None`` when unbatched).
+    probe_batches: Optional[List[np.ndarray]]
+    device: Device
+    max_candidate_pairs: int
+    n_streams: int
+    threads_per_block: int
+    index_build_time: float = 0.0
+
+    @property
+    def num_rows(self) -> int:
+        """CSR rows of the result (query-side cardinality, never swapped)."""
+        return self.query.num_rows
+
+
+class QueryPlanner:
+    """Plans queries for a chosen backend and device model.
+
+    Parameters mirror :class:`~repro.core.selfjoin.SelfJoinConfig` so the
+    legacy API can delegate without translation.
+    """
+
+    def __init__(self, backend: str = "vectorized", *,
+                 device: Optional[Device] = None,
+                 device_spec: Optional[DeviceSpec] = None,
+                 batching: bool = True, min_batches: int = 3,
+                 max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                 n_streams: int = 3, threads_per_block: int = 256,
+                 validate_index: bool = False,
+                 max_dims: Optional[int] = None,
+                 batch_planner: Optional[BatchPlanner] = None) -> None:
+        self.backend = get_backend(backend)
+        self.device = device if device is not None else Device(device_spec)
+        self.batching = bool(batching)
+        self.min_batches = int(min_batches)
+        self.max_candidate_pairs = int(max_candidate_pairs)
+        self.n_streams = int(n_streams)
+        self.threads_per_block = int(threads_per_block)
+        self.validate_index = bool(validate_index)
+        self.max_dims = max_dims
+        self._batch_planner = batch_planner
+
+    # ---------------------------------------------------------------- planning
+    def plan(self, query: Q.Query, index: Optional[GridIndex] = None) -> QueryPlan:
+        """Produce a :class:`QueryPlan`; builds the grid index unless supplied."""
+        if query.kind == Q.SELF_JOIN:
+            return self._plan_self_join(query, index)
+        if query.kind in (Q.BIPARTITE_JOIN, Q.RANGE_QUERY):
+            return self._plan_probe(query, index)
+        if query.kind == Q.KNN_CANDIDATES:
+            return self._plan_knn(query, index)
+        raise ValueError(f"unplannable query kind {query.kind!r}")
+
+    def _build_index(self, points: np.ndarray, eps: float) -> tuple[GridIndex, float]:
+        with Timer() as timer:
+            index = GridIndex.build(points, eps)
+            if self.validate_index:
+                index.validate()
+        return index, timer.elapsed
+
+    def _resolve_unicomp(self, query: Q.Query) -> bool:
+        if not query.unicomp or query.kind != Q.SELF_JOIN:
+            return False
+        if query.unicomp and self.backend.name == "pointwise":
+            raise ValueError("the pointwise reference kernel has no UNICOMP variant")
+        return self.backend.supports_unicomp
+
+    def _plan_self_join(self, query: Q.Query, index: Optional[GridIndex]) -> QueryPlan:
+        points = check_points(query.points, max_dims=self.max_dims)
+        build_time = 0.0
+        if index is None:
+            index, build_time = self._build_index(points, query.eps)
+        unicomp = self._resolve_unicomp(query)
+
+        batch_plan = None
+        if self.batching and self.backend.supports_cell_subset and query.batching:
+            planner = self._batch_planner or BatchPlanner(
+                device=self.device, min_batches=self.min_batches)
+
+            def estimation_kernel(idx, e, cells):
+                sink = PairFragments(idx.num_points)
+                stats = self.backend.run_selfjoin(
+                    idx, e, cells, sink, unicomp=unicomp,
+                    max_candidate_pairs=self.max_candidate_pairs,
+                    device=self.device,
+                    threads_per_block=self.threads_per_block)
+                return KernelOutput(result=None, stats=stats)
+
+            batch_plan = planner.plan(index, query.eps, kernel=estimation_kernel)
+
+        return QueryPlan(query=query, backend=self.backend, index=index,
+                         probe_points=None, swapped=False, unicomp=unicomp,
+                         eps=float(query.eps), batch_plan=batch_plan,
+                         probe_batches=None, device=self.device,
+                         max_candidate_pairs=self.max_candidate_pairs,
+                         n_streams=self.n_streams,
+                         threads_per_block=self.threads_per_block,
+                         index_build_time=build_time)
+
+    def _plan_probe(self, query: Q.Query, index: Optional[GridIndex]) -> QueryPlan:
+        left = query.queries
+        right = query.points
+        swapped = False
+        if index is not None:
+            if index.num_points != right.shape[0] or index.num_dims != right.shape[1]:
+                raise ValueError("the supplied index does not match the right-side dataset")
+            build_time = 0.0
+        else:
+            # Index-side selection: index the larger side of a bipartite join
+            # (more pruning per probe); range queries stay data-indexed.
+            if query.kind == Q.BIPARTITE_JOIN and left.shape[0] > right.shape[0]:
+                left, right = right, left
+                swapped = True
+            index, build_time = self._build_index(right, query.eps)
+
+        probe_batches = None
+        if self.batching and query.batching and left.shape[0] >= 2 * self.min_batches:
+            probe_batches = [np.asarray(b, dtype=np.int64) for b in
+                             np.array_split(np.arange(left.shape[0], dtype=np.int64),
+                                            self.min_batches)]
+
+        return QueryPlan(query=query, backend=self.backend, index=index,
+                         probe_points=left, swapped=swapped, unicomp=False,
+                         eps=float(query.eps), batch_plan=None,
+                         probe_batches=probe_batches, device=self.device,
+                         max_candidate_pairs=self.max_candidate_pairs,
+                         n_streams=self.n_streams,
+                         threads_per_block=self.threads_per_block,
+                         index_build_time=build_time)
+
+    def _plan_knn(self, query: Q.Query, index: Optional[GridIndex]) -> QueryPlan:
+        points = query.points
+        build_time = 0.0
+        if index is None:
+            eps = query.eps if query.eps is not None \
+                else self._knn_cell_width(points, query.k)
+            index, build_time = self._build_index(points, eps)
+        return QueryPlan(query=query, backend=self.backend, index=index,
+                         probe_points=query.queries, swapped=False, unicomp=False,
+                         eps=float(index.eps), batch_plan=None,
+                         probe_batches=None, device=self.device,
+                         max_candidate_pairs=self.max_candidate_pairs,
+                         n_streams=self.n_streams,
+                         threads_per_block=self.threads_per_block,
+                         index_build_time=build_time)
+
+    @staticmethod
+    def _knn_cell_width(points: np.ndarray, k: int) -> float:
+        """Heuristic radius containing ~k points under a uniform density."""
+        n, dims = points.shape
+        extent = points.max(axis=0) - points.min(axis=0)
+        extent = np.where(extent <= 0, 1.0, extent)
+        volume = float(np.prod(extent))
+        return float((volume * (k + 1) / n) ** (1.0 / dims))

@@ -1,0 +1,140 @@
+"""Declarative query descriptions for the unified query engine.
+
+A :class:`Query` says *what* to compute — a self-join, a bipartite similarity
+join, per-query ε-range queries, or kNN candidate generation — without saying
+*how*.  The paper frames the self-join as "a special case of a join operation
+on two different sets of data points"; the query kinds below are exactly the
+members of that family the repo's applications need.  The *how* (index side,
+batch decomposition, UNICOMP eligibility, backend) is decided by
+:class:`repro.engine.planner.QueryPlanner` and executed by
+:func:`repro.engine.executor.execute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_eps, ensure_2d_float64
+
+#: The query kinds the engine understands.
+SELF_JOIN = "self_join"
+BIPARTITE_JOIN = "bipartite_join"
+RANGE_QUERY = "range_query"
+KNN_CANDIDATES = "knn_candidates"
+
+QUERY_KINDS = (SELF_JOIN, BIPARTITE_JOIN, RANGE_QUERY, KNN_CANDIDATES)
+
+
+@dataclass
+class Query:
+    """One distance-similarity query over one or two point sets.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`QUERY_KINDS`.
+    points:
+        The indexed ("right" / data) point set.
+    queries:
+        The probe ("left" / query) point set; ``None`` for self-joins and for
+        all-kNN over ``points`` itself.
+    eps:
+        Search distance (``None`` only for kNN candidates, where the planner
+        derives an initial radius from ``k`` or the supplied cell width).
+    k:
+        Neighbor count for kNN candidate generation.
+    unicomp:
+        Request the UNICOMP work-avoidance optimization where applicable
+        (self-joins on backends that support it).
+    include_self:
+        Whether trivial self-pairs are kept (self-join / self-kNN).
+    sort_result:
+        Sort the pair-list view by (key, value) before returning it.
+    batching:
+        Allow the planner to decompose the work into batches.
+    """
+
+    kind: str
+    points: np.ndarray
+    queries: Optional[np.ndarray] = None
+    eps: Optional[float] = None
+    k: Optional[int] = None
+    unicomp: bool = True
+    include_self: bool = True
+    sort_result: bool = False
+    batching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(f"kind must be one of {QUERY_KINDS}, got {self.kind!r}")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def self_join(cls, points: np.ndarray, eps: float, *, unicomp: bool = True,
+                  include_self: bool = True, sort_result: bool = False,
+                  batching: bool = True) -> "Query":
+        """All pairs ``(p, q)`` of one dataset with ``dist(p, q) <= eps``."""
+        return cls(kind=SELF_JOIN, points=ensure_2d_float64(points),
+                   eps=check_eps(eps), unicomp=unicomp,
+                   include_self=include_self, sort_result=sort_result,
+                   batching=batching)
+
+    @classmethod
+    def bipartite_join(cls, left: np.ndarray, right: np.ndarray, eps: float,
+                       *, batching: bool = True) -> "Query":
+        """All pairs ``(a, b)``, ``a`` in ``left``, ``b`` in ``right``, within ε."""
+        left = ensure_2d_float64(left, name="left")
+        right = ensure_2d_float64(right, name="right")
+        if left.shape[1] != right.shape[1]:
+            raise ValueError("left and right must have the same dimensionality")
+        return cls(kind=BIPARTITE_JOIN, points=right, queries=left,
+                   eps=check_eps(eps), unicomp=False, batching=batching)
+
+    @classmethod
+    def range_query(cls, data: np.ndarray, queries: np.ndarray, eps: float,
+                    *, batching: bool = True) -> "Query":
+        """Per-query ε-neighborhoods over ``data`` (CSR rows keyed by query)."""
+        data = ensure_2d_float64(data, name="data")
+        queries = ensure_2d_float64(queries, name="queries")
+        if data.shape[1] != queries.shape[1]:
+            raise ValueError("data and queries must have the same dimensionality")
+        return cls(kind=RANGE_QUERY, points=data, queries=queries,
+                   eps=check_eps(eps), unicomp=False, batching=batching)
+
+    @classmethod
+    def knn_candidates(cls, points: np.ndarray, k: int,
+                       queries: Optional[np.ndarray] = None, *,
+                       cell_width: Optional[float] = None,
+                       include_self: bool = False) -> "Query":
+        """Candidate sets guaranteed to contain each query's exact k nearest.
+
+        The executor probes with an adaptive radius: every returned row holds
+        all points within some radius r of its query, with enough candidates
+        (``k``, or ``k + 1`` when the query point itself must be excluded)
+        that the true k nearest neighbors are provably among them.
+        """
+        points = ensure_2d_float64(points)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if queries is not None:
+            queries = ensure_2d_float64(queries, name="queries")
+            if points.shape[1] != queries.shape[1]:
+                raise ValueError("points and queries must have the same dimensionality")
+        eps = check_eps(cell_width) if cell_width is not None else None
+        return cls(kind=KNN_CANDIDATES, points=points, queries=queries,
+                   eps=eps, k=int(k), unicomp=False, include_self=include_self)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def is_self_query(self) -> bool:
+        """True when the probe side is the indexed dataset itself."""
+        return self.queries is None
+
+    @property
+    def num_rows(self) -> int:
+        """Number of CSR result rows (query-side cardinality)."""
+        side = self.points if self.queries is None else self.queries
+        return int(side.shape[0])

@@ -59,6 +59,16 @@ def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> Dict[str, Any]:
         if args.seed:
             kwargs["seed"] = args.seed
         return kwargs
+    if experiment_id == "engine":
+        if args.points is not None:
+            kwargs["n_points"] = args.points
+        if args.trials != 1:
+            kwargs["trials"] = args.trials
+        if args.seed:
+            kwargs["seed"] = args.seed
+        if args.algorithms:
+            kwargs["backends"] = args.algorithms
+        return kwargs
     # Figure 4-9 experiments share the response-time signature.
     if args.points is not None:
         kwargs["n_points"] = args.points

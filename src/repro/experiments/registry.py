@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
-from repro.experiments import fig1, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2
+from repro.experiments import (engine_compare, fig1, fig4, fig5, fig6, fig7,
+                               fig8, fig9, table1, table2)
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
                          table1.run_table1, table1.format_table1),
     "table2": Experiment("table2", "Kernel metrics with/without UNICOMP (Table II)",
                          table2.run_table2, table2.format_table2),
+    "engine": Experiment("engine", "Unified query engine: backend comparison "
+                         "(self-join + bipartite, all registered backends)",
+                         engine_compare.run_engine_compare,
+                         engine_compare.format_engine_compare),
 }
 
 

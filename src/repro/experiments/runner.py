@@ -36,6 +36,20 @@ ALGORITHMS = ("GPU: Brute Force", "R-Tree", "SuperEGO", "GPU", "GPU: unicomp")
 #: Algorithms whose response time does not depend on ε (run once per dataset).
 EPS_INDEPENDENT = ("GPU: Brute Force",)
 
+#: Engine-backed variants: ``Engine[<backend>]`` runs the self-join through
+#: :mod:`repro.engine` on the named execution backend, so every registered
+#: backend (including future sharded/multiprocess ones) can be measured with
+#: the same harness as the paper's algorithms.
+ENGINE_ALGORITHM_PREFIX = "Engine["
+ENGINE_ALGORITHMS = ("Engine[vectorized]", "Engine[cellwise]", "Engine[bruteforce]")
+
+
+def engine_backend_of(algorithm: str) -> Optional[str]:
+    """Backend name of an ``Engine[<backend>]`` label (``None`` otherwise)."""
+    if algorithm.startswith(ENGINE_ALGORITHM_PREFIX) and algorithm.endswith("]"):
+        return algorithm[len(ENGINE_ALGORITHM_PREFIX):-1]
+    return None
+
 
 @dataclass
 class TimingRecord:
@@ -146,8 +160,20 @@ def run_algorithm(algorithm: str, points: np.ndarray, eps: float,
                 out = bruteforce_count(points, eps)
             times.append(t.elapsed)
             num_pairs = out.num_pairs
+    elif engine_backend_of(algorithm) is not None:
+        from repro.engine import Query, QueryPlanner, execute
+
+        planner = QueryPlanner(backend=engine_backend_of(algorithm))
+        unicomp = planner.backend.supports_unicomp
+        for _ in range(trials):
+            with Timer() as t:
+                result = execute(planner.plan(
+                    Query.self_join(points, eps, unicomp=unicomp)))
+                num_pairs = result.num_pairs
+            times.append(t.elapsed)
     else:
-        raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: "
+                         f"{ALGORITHMS + ENGINE_ALGORITHMS}")
 
     mean, std = mean_and_std(times)
     return mean, std, num_pairs
