@@ -1,0 +1,42 @@
+"""Benchmark: parallel subsystem — self-join speedup vs worker count.
+
+Times the engine self-join on the default synthetic dataset serially
+(``vectorized``) and on ``multiprocess(w)`` for increasing worker counts.
+On a host with ≥4 cores the 4-worker configuration should be well above
+1.5× the serial time; on fewer cores the sweep instead quantifies the
+pool/IPC overhead (the report records the host CPU count so the numbers
+stay interpretable).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.scaling import (
+    DEFAULT_WORKER_COUNTS,
+    format_scaling,
+    run_scaling,
+)
+from benchmarks.conftest import bench_points, bench_trials
+
+
+def test_bench_scaling(benchmark, write_report):
+    def run():
+        return run_scaling(n_points=bench_points(4000), trials=bench_trials(),
+                           workers=DEFAULT_WORKER_COUNTS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("scaling", format_scaling(rows))
+
+    # Correctness shape: every configuration reports the identical pair count.
+    pair_counts = {row.num_pairs for row in rows}
+    assert len(pair_counts) == 1
+    assert rows[0].num_pairs > 0
+    # Performance shape, only meaningful with real parallelism available:
+    # with >= 4 cores, 4 workers must beat serial by the paper-style margin.
+    cores = os.cpu_count() or 1
+    by_workers = {row.workers: row for row in rows}
+    if cores >= 4 and 4 in by_workers:
+        assert by_workers[4].speedup > 1.5, format_scaling(rows)
+    benchmark.extra_info["host_cpus"] = cores
+    benchmark.extra_info["speedups"] = {row.label: row.speedup for row in rows}

@@ -12,16 +12,35 @@ invocation, result kept on the device).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.result import PairFragments, ResultSet
 from repro.utils.validation import check_eps, ensure_2d_float64
 
-#: Default number of query rows processed per chunk; bounds the temporary
-#: distance matrix to ``chunk_rows * n_points`` float64 values.
+#: Baseline for the number of query rows processed per chunk.  The scans
+#: divide this by the dimensionality (see :func:`_rows_per_chunk`), so the
+#: ``(rows, n_points, n_dims)`` difference tensor stays bounded at roughly
+#: ``chunk_rows * n_points`` float64 values regardless of ``n_dims``.
 DEFAULT_CHUNK_ROWS = 512
+
+
+def _rows_per_chunk(chunk_rows: int, n_dims: int) -> int:
+    """Rows per scan chunk keeping the difference tensor ~``chunk_rows * n``."""
+    return max(1, chunk_rows // max(1, n_dims))
+
+
+def _dist2_chunk(block: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """``(m, n)`` squared distances between ``block`` and ``data`` rows.
+
+    Materializes the ``(m, n, d)`` difference tensor so the reduction is the
+    exact einsum the grid kernels use — per-dimension accumulation is *not*
+    bit-identical for ``d >= 3`` and would flip ε-boundary decisions.
+    Callers bound ``m`` via :func:`_rows_per_chunk`.
+    """
+    diff = block[:, None, :] - data[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
 
 
 @dataclass
@@ -69,10 +88,10 @@ def allpairs_emit(queries: np.ndarray, data: np.ndarray, eps: float,
         rows = np.arange(queries.shape[0], dtype=np.int64)
     eps2 = eps * eps
     distance_calcs = 0
-    for start in range(0, rows.shape[0], chunk_rows):
-        chunk = rows[start:start + chunk_rows]
-        diff = queries[chunk][:, None, :] - data[None, :, :]
-        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+    step = _rows_per_chunk(chunk_rows, queries.shape[1])
+    for start in range(0, rows.shape[0], step):
+        chunk = rows[start:start + step]
+        dist2 = _dist2_chunk(queries[chunk], data)
         distance_calcs += int(dist2.size)
         qi, ci = np.nonzero(dist2 <= eps2)
         sink.emit(chunk[qi], ci.astype(np.int64))
@@ -102,40 +121,31 @@ def bruteforce_join(left: np.ndarray, right: np.ndarray, eps: float,
 
 def _bruteforce(points: np.ndarray, eps: float, chunk_rows: int,
                 materialize: bool) -> BruteForceOutput:
-    """Chunked all-pairs distance computation."""
+    """Chunked all-pairs self-scan, delegating to :func:`allpairs_emit`.
+
+    Both paths use the one shared direct-difference scan so the ε-boundary
+    decision stays bit-identical across every reference and kernel; the
+    count-only path skips the pair materialization entirely.
+    """
     pts = ensure_2d_float64(points)
     eps = check_eps(eps)
     if chunk_rows < 1:
         raise ValueError("chunk_rows must be >= 1")
-    eps2 = eps * eps
     n = pts.shape[0]
-    sq_norms = np.einsum("ij,ij->i", pts, pts)
+    if materialize:
+        sink = PairFragments(n)
+        distance_calcs = allpairs_emit(pts, pts, eps, sink,
+                                       chunk_rows=chunk_rows)
+        result = sink.to_result_set()
+        return BruteForceOutput(result=result, num_pairs=result.num_pairs,
+                                distance_calcs=distance_calcs)
+    eps2 = eps * eps
     num_pairs = 0
     distance_calcs = 0
-    key_parts: List[np.ndarray] = []
-    val_parts: List[np.ndarray] = []
-    for start in range(0, n, chunk_rows):
-        stop = min(start + chunk_rows, n)
-        block = pts[start:stop]
-        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped for round-off.
-        dist2 = (sq_norms[start:stop, None] + sq_norms[None, :]
-                 - 2.0 * block @ pts.T)
-        np.maximum(dist2, 0.0, out=dist2)
+    step = _rows_per_chunk(chunk_rows, pts.shape[1])
+    for start in range(0, n, step):
+        dist2 = _dist2_chunk(pts[start:start + step], pts)
         distance_calcs += dist2.size
-        mask = dist2 <= eps2
-        if materialize:
-            qi, ci = np.nonzero(mask)
-            key_parts.append((qi + start).astype(np.int64))
-            val_parts.append(ci.astype(np.int64))
-            num_pairs += qi.shape[0]
-        else:
-            num_pairs += int(np.count_nonzero(mask))
-    result = None
-    if materialize:
-        if key_parts:
-            result = ResultSet(keys=np.concatenate(key_parts),
-                               values=np.concatenate(val_parts), num_points=n)
-        else:
-            result = ResultSet.empty(n)
-    return BruteForceOutput(result=result, num_pairs=num_pairs,
+        num_pairs += int(np.count_nonzero(dist2 <= eps2))
+    return BruteForceOutput(result=None, num_pairs=num_pairs,
                             distance_calcs=distance_calcs)

@@ -13,6 +13,13 @@ of the next.  This module provides:
   fits the planned buffer (adaptively splitting a batch that overflows), and
   reports the compute/transfer overlap timeline via
   :func:`repro.gpusim.streams.simulate_pipeline`.
+* Sampled cost estimation — :func:`estimate_cell_costs` (per-cell self-join
+  work) and :func:`estimate_probe_row_costs` (per-row probe work) generalize
+  the :class:`BatchPlanner` sampling idea to *per-item* cost estimates, and
+  :func:`split_by_cost` turns any such cost vector into contiguous
+  work-balanced slices.  These are shared by the device-model batcher, the
+  probe-side batching in :mod:`repro.engine.planner` and the shard planner
+  of :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
@@ -23,8 +30,10 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core import linearize as lin
 from repro.core.gridindex import GridIndex
 from repro.core.kernels import KernelOutput, KernelStats
+from repro.core.neighbors import all_neighbor_offsets
 from repro.core.result import ResultSet
 from repro.gpusim.device import Device
 from repro.gpusim.streams import PipelineReport, simulate_pipeline
@@ -195,6 +204,48 @@ class BatchPlanner:
         )
 
 
+def split_by_cost(costs: np.ndarray, n_parts: int) -> List[np.ndarray]:
+    """Split items ``0..len(costs)-1`` into contiguous, cost-balanced slices.
+
+    The split boundaries are chosen on the cumulative cost curve so each
+    slice carries roughly ``total_cost / n_parts``.  Items stay in order
+    (contiguous index ranges), which is what both the cell batcher (``B``
+    order) and the probe batcher (row order) require.  Every slice is
+    non-empty (``n_parts`` is clamped to the item count), so a dominant
+    item gets isolated into its own slice rather than dragging the rest of
+    the items in with it.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    costs = np.asarray(costs, dtype=np.float64)
+    n_items = costs.shape[0]
+    if n_items == 0:
+        return [np.empty(0, dtype=np.int64)]
+    n_parts = min(n_parts, n_items)
+    cum = np.cumsum(costs)
+    total = float(cum[-1])
+    if not total > 0.0:
+        return [np.asarray(part, dtype=np.int64) for part in
+                np.array_split(np.arange(n_items, dtype=np.int64), n_parts)]
+    boundaries = [0]
+    for b in range(1, n_parts):
+        target = total * b / n_parts
+        # side="right": an item whose cumulative cost lands exactly on the
+        # target belongs to the left slice — with side="left", uniform costs
+        # would put every boundary one item early (e.g. two equal items into
+        # slices of 0 and 2).
+        boundary = int(np.searchsorted(cum, target, side="right"))
+        # Every slice stays non-empty (n_parts <= n_items): a dominant item
+        # would otherwise pin all boundaries to its side and collapse the
+        # split into one slice carrying 100% of the work.
+        boundary = max(boundary, boundaries[-1] + 1)
+        boundary = min(boundary, n_items - (n_parts - b))
+        boundaries.append(boundary)
+    boundaries.append(n_items)
+    return [np.arange(lo, hi, dtype=np.int64)
+            for lo, hi in zip(boundaries[:-1], boundaries[1:])]
+
+
 def split_cells_balanced(index: GridIndex, n_batches: int) -> List[np.ndarray]:
     """Split the non-empty cells into ``n_batches`` contiguous, work-balanced parts.
 
@@ -203,24 +254,108 @@ def split_cells_balanced(index: GridIndex, n_batches: int) -> List[np.ndarray]:
     the split boundaries are chosen so each batch holds roughly the same
     number of *points*, which is a better proxy for work than cell count.
     """
-    n_cells = index.num_nonempty_cells
     if n_batches < 1:
         raise ValueError("n_batches must be >= 1")
-    n_batches = min(n_batches, max(1, n_cells))
-    if n_cells == 0:
+    if index.num_nonempty_cells == 0:
         return [np.empty(0, dtype=np.int64)]
-    cum_points = np.cumsum(index.cell_counts)
-    total_points = int(cum_points[-1])
-    boundaries = [0]
-    for b in range(1, n_batches):
-        target = total_points * b / n_batches
-        boundary = int(np.searchsorted(cum_points, target))
-        boundaries.append(max(boundary, boundaries[-1]))
-    boundaries.append(n_cells)
-    batches: List[np.ndarray] = []
-    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
-        batches.append(np.arange(lo, hi, dtype=np.int64))
-    return batches
+    return split_by_cost(index.cell_counts.astype(np.float64), n_batches)
+
+
+# --------------------------------------------------------------------------
+# sampled per-item cost estimation
+# --------------------------------------------------------------------------
+def candidate_counts_at(index: GridIndex, coords: np.ndarray) -> np.ndarray:
+    """Candidate points reachable from each given cell coordinate.
+
+    For every row of ``coords`` (n-dimensional cell coordinates in ``index``'s
+    grid), counts the points stored in the 3^n adjacent non-empty cells
+    (including the home cell) — the exact number of distance evaluations a
+    GLOBAL-kernel query point in that cell performs.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    counts = np.zeros(coords.shape[0], dtype=np.int64)
+    if coords.shape[0] == 0:
+        return counts
+    for offset in all_neighbor_offsets(index.num_dims, include_home=True):
+        neighbor = coords + offset[None, :]
+        inside = np.all((neighbor >= 0) & (neighbor < index.num_cells[None, :]),
+                        axis=1)
+        if not inside.any():
+            continue
+        linear = lin.linearize(neighbor[inside], index.strides)
+        target = index.lookup_cells(linear)
+        found = target >= 0
+        rows = np.flatnonzero(inside)[found]
+        counts[rows] += index.cell_counts[target[found]]
+    return counts
+
+
+def _sample_positions(n_items: int, sample_fraction: float, max_sample: int,
+                      seed: int) -> np.ndarray:
+    """Sorted uniform sample of item positions, anchored at both ends."""
+    sample_size = max(1, min(max_sample,
+                             int(math.ceil(n_items * sample_fraction))))
+    if sample_size >= n_items:
+        return np.arange(n_items, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    picked = rng.choice(n_items, size=sample_size, replace=False)
+    # Anchor the interpolation at the first and last item.
+    return np.unique(np.concatenate(
+        [picked, np.array([0, n_items - 1], dtype=np.int64)])).astype(np.int64)
+
+
+def estimate_cell_costs(index: GridIndex, sample_fraction: float = 0.05,
+                        max_sample_cells: int = 512, seed: int = 0) -> np.ndarray:
+    """Sampled per-cell work estimates for a self-join (length ``|G|``).
+
+    A uniform sample of non-empty cells gets *exact* candidate counts
+    (:func:`candidate_counts_at`); the per-point candidate density is then
+    interpolated over ``B`` order — adjacent positions in ``B`` are spatially
+    close under the row-major linearization, so density varies smoothly —
+    and each cell's cost is ``points_in_cell * interpolated_density``,
+    i.e. an estimate of the distance calculations originating in that cell.
+    """
+    n_cells = index.num_nonempty_cells
+    if n_cells == 0:
+        return np.zeros(0, dtype=np.float64)
+    sample = _sample_positions(n_cells, sample_fraction, max_sample_cells, seed)
+    candidates = candidate_counts_at(index, index.cell_coords[sample])
+    # Every point of a cell evaluates that cell's candidate count, so the
+    # candidate count *is* the per-point cost.
+    density = np.interp(np.arange(n_cells, dtype=np.float64),
+                        sample.astype(np.float64),
+                        candidates.astype(np.float64))
+    return index.cell_counts.astype(np.float64) * density
+
+
+def estimate_probe_row_costs(queries: np.ndarray, index: GridIndex,
+                             sample_fraction: float = 0.25,
+                             max_sample_cells: int = 512,
+                             seed: int = 0) -> np.ndarray:
+    """Sampled per-row work estimates for a bipartite probe (length ``n_rows``).
+
+    Query rows are grouped by their cell in the index's grid; candidate
+    counts are computed exactly for a sample of the distinct query cells and
+    interpolated over sorted-cell-id order for the rest.  Every row gets its
+    cell's candidate count plus a constant base cost, so even rows probing
+    empty space carry non-zero weight.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    n_rows = queries.shape[0]
+    if n_rows == 0:
+        return np.zeros(0, dtype=np.float64)
+    coords = lin.compute_cell_coords(queries, index.gmin, index.eps,
+                                     index.num_cells)
+    cell_ids = lin.linearize(coords, index.strides)
+    unique_ids, inverse = np.unique(cell_ids, return_inverse=True)
+    n_unique = unique_ids.shape[0]
+    sample = _sample_positions(n_unique, sample_fraction, max_sample_cells, seed)
+    candidates = candidate_counts_at(
+        index, lin.delinearize(unique_ids[sample], index.num_cells))
+    per_cell = np.interp(np.arange(n_unique, dtype=np.float64),
+                         sample.astype(np.float64),
+                         candidates.astype(np.float64))
+    return per_cell[inverse] + 1.0
 
 
 def run_adaptive_batches(batches: List[np.ndarray], run_batch,

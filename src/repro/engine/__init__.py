@@ -36,8 +36,11 @@ True
 1000
 
 Backends are chosen per planner: ``run_query(query, backend="cellwise")``
-or ``QueryPlanner(backend="simulated")``; ``list_backends()`` enumerates
-the registry and :func:`register_backend` adds new ones.
+or ``QueryPlanner(backend="simulated")``; parameterized names configure a
+backend (``backend="multiprocess(4)"`` for four workers).
+``list_backends()`` enumerates the registry, ``backend_availability()``
+reports which backends can run (an optional dependency may be missing),
+and :func:`register_backend` / :func:`register_lazy_backend` add new ones.
 """
 
 from __future__ import annotations
@@ -47,10 +50,14 @@ from typing import Optional
 from repro.core.gridindex import GridIndex
 from repro.engine.backends import (
     BACKENDS,
+    BackendUnavailableError,
     ExecutionBackend,
+    available_backends,
+    backend_availability,
     get_backend,
     list_backends,
     register_backend,
+    register_lazy_backend,
 )
 from repro.engine.executor import EngineResult, execute
 from repro.engine.planner import QueryPlan, QueryPlanner
@@ -70,9 +77,13 @@ __all__ = [
     "EngineResult",
     "ExecutionBackend",
     "BACKENDS",
+    "BackendUnavailableError",
     "register_backend",
+    "register_lazy_backend",
     "get_backend",
     "list_backends",
+    "available_backends",
+    "backend_availability",
     "execute",
     "run_query",
     "QUERY_KINDS",

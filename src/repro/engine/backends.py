@@ -28,12 +28,26 @@ Available backends:
   back to the pointwise reference since the paper's device model only
   covers the self-join kernels.
 * ``bruteforce`` — index-free chunked all-pairs reference.
+* ``sharded`` / ``multiprocess`` — the parallel execution subsystem
+  (:mod:`repro.parallel`), registered lazily so importing the engine never
+  pays for (or fails on) their dependencies.
+
+Backend lookup accepts parameterized names — ``"multiprocess(4)"`` builds
+the multiprocess backend with four workers, ``"sharded(7)"`` a seven-shard
+decomposition — and is *lazy*: a backend whose optional dependency is
+missing stays listed in :func:`list_backends` but raises a clear
+:class:`BackendUnavailableError` from :func:`get_backend`;
+:func:`backend_availability` reports every backend's status (groundwork for
+a CuPy-gated real-GPU backend).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Type
+import importlib
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -72,6 +86,10 @@ class ExecutionBackend(abc.ABC):
     name: str = "abstract"
     supports_cell_subset: bool = False
     supports_unicomp: bool = False
+    #: The backend performs its own work decomposition (shards, worker
+    #: pools); the planner then skips the device-model batch split, which
+    #: would otherwise multiply the decomposition overhead per batch.
+    owns_decomposition: bool = False
 
     @abc.abstractmethod
     def run_selfjoin(self, index: GridIndex, eps: float,
@@ -94,27 +112,174 @@ class ExecutionBackend(abc.ABC):
         """
 
 
-#: Registry of available backends by name.
-BACKENDS: Dict[str, ExecutionBackend] = {}
+class BackendUnavailableError(KeyError):
+    """A registered backend cannot be constructed (missing optional dependency).
+
+    Subclasses :class:`KeyError` so callers guarding lookups with
+    ``except KeyError`` keep working.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass
+class BackendProvider:
+    """Registry entry: how to construct a backend by name.
+
+    Either ``factory`` is set (an eagerly registered backend class), or
+    ``module`` names a module whose import registers the factory under the
+    same name (lazy registration — the import only happens on first lookup,
+    so a backend with an unavailable optional dependency never breaks
+    ``import repro.engine``).
+    """
+
+    name: str
+    factory: Optional[Callable[..., ExecutionBackend]] = None
+    module: Optional[str] = None
+    requires: Optional[str] = None
+
+
+#: Registry of backend providers by base name (see :class:`BackendProvider`).
+BACKENDS: Dict[str, BackendProvider] = {}
+
+#: Constructed backend instances, cached by their full (parameterized) name.
+_INSTANCES: Dict[str, ExecutionBackend] = {}
+
+_NAME_RE = re.compile(r"^(?P<base>[A-Za-z_]\w*)(?:\((?P<args>[^()]*)\))?$")
+
+
+def _evict_instances(base: str) -> None:
+    """Drop cached instances of ``base``, including parameterized ones.
+
+    Re-registering a backend must not leave ``get_backend("name(4)")``
+    returning an instance of the replaced class.
+    """
+    for key in [k for k in _INSTANCES
+                if _parse_backend_name(k)[0] == base]:
+        del _INSTANCES[key]
 
 
 def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
-    """Class decorator: instantiate and register a backend under ``cls.name``."""
-    BACKENDS[cls.name] = cls()
+    """Class decorator: register a backend class under ``cls.name``.
+
+    Instances are constructed lazily by :func:`get_backend`; classes whose
+    ``__init__`` takes parameters are reachable through parameterized names
+    such as ``"multiprocess(4)"``.
+    """
+    BACKENDS[cls.name] = BackendProvider(name=cls.name, factory=cls)
+    _evict_instances(cls.name)
     return cls
 
 
-def get_backend(name: str) -> ExecutionBackend:
-    """Look up a backend (raises ``KeyError`` listing the known names)."""
+def register_lazy_backend(name: str, module: str,
+                          requires: Optional[str] = None) -> None:
+    """Register a backend resolved by importing ``module`` on first lookup.
+
+    ``module`` must register a backend named ``name`` (via
+    :func:`register_backend`) as an import side effect.  ``requires`` names
+    the optional dependency for the error message when the import fails.
+    """
+    BACKENDS[name] = BackendProvider(name=name, module=module, requires=requires)
+    _evict_instances(name)
+
+
+def _parse_backend_name(name: str) -> Tuple[str, Tuple[Union[int, float, str], ...]]:
+    """Split ``"multiprocess(4)"`` into ``("multiprocess", (4,))``."""
+    match = _NAME_RE.match(name.strip())
+    if match is None:
+        raise KeyError(f"malformed backend name {name!r}; expected "
+                       "'<name>' or '<name>(<arg>, ...)'")
+    base = match.group("base")
+    raw = match.group("args")
+    if raw is None or not raw.strip():
+        return base, ()
+    args: List[Union[int, float, str]] = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            args.append(int(token))
+        except ValueError:
+            try:
+                args.append(float(token))
+            except ValueError:
+                args.append(token)
+    return base, tuple(args)
+
+
+def _resolve_provider(base: str) -> BackendProvider:
+    """Return a provider with a usable factory, importing lazily if needed."""
     try:
-        return BACKENDS[name]
+        provider = BACKENDS[base]
     except KeyError as exc:
-        raise KeyError(f"unknown backend {name!r}; known: {sorted(BACKENDS)}") from exc
+        raise KeyError(f"unknown backend {base!r}; known: {sorted(BACKENDS)}") from exc
+    if provider.factory is not None:
+        return provider
+    try:
+        importlib.import_module(provider.module)
+    except ImportError as exc:
+        dep = f" (requires {provider.requires})" if provider.requires else ""
+        raise BackendUnavailableError(
+            f"backend {base!r} is unavailable{dep}: {exc}") from exc
+    provider = BACKENDS[base]
+    if provider.factory is None:
+        raise BackendUnavailableError(
+            f"importing {BACKENDS[base].module!r} did not register "
+            f"backend {base!r}")
+    return provider
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up (and lazily construct) a backend by name.
+
+    Raises :class:`KeyError` for unknown names (listing the known ones),
+    :class:`BackendUnavailableError` when the backend is registered but its
+    optional dependency is missing, and :class:`ValueError` for malformed
+    constructor arguments in a parameterized name.
+    """
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    base, args = _parse_backend_name(name)
+    provider = _resolve_provider(base)
+    try:
+        instance = provider.factory(*args)
+    except TypeError as exc:
+        raise ValueError(f"bad arguments for backend {base!r}: {exc}") from exc
+    _INSTANCES[name] = instance
+    return instance
 
 
 def list_backends() -> List[str]:
-    """Names of all registered backends."""
+    """Names of all registered backends (available or not)."""
     return sorted(BACKENDS)
+
+
+def backend_availability() -> Dict[str, Optional[str]]:
+    """Availability of every registered backend.
+
+    Maps each name to ``None`` when the backend can be constructed, or to a
+    human-readable reason (e.g. the missing optional dependency) when not.
+    """
+    status: Dict[str, Optional[str]] = {}
+    for name in list_backends():
+        try:
+            _resolve_provider(name)
+        except BackendUnavailableError as exc:
+            status[name] = str(exc)
+        else:
+            status[name] = None
+    return status
+
+
+def available_backends() -> List[str]:
+    """Names of the backends that can actually be constructed right now."""
+    return [name for name, reason in backend_availability().items()
+            if reason is None]
 
 
 # --------------------------------------------------------------------------
@@ -444,3 +609,10 @@ class BruteForceBackend(ExecutionBackend):
                                              rows=_probe_rows(queries, rows))
         stats.result_pairs = sink.num_pairs - before
         return stats
+
+
+# --------------------------------------------------------------------------
+# lazily registered backends (the parallel execution subsystem)
+# --------------------------------------------------------------------------
+register_lazy_backend("sharded", "repro.parallel.sharded")
+register_lazy_backend("multiprocess", "repro.parallel.mp")

@@ -8,12 +8,14 @@ into an executable :class:`QueryPlan`:
    the sides were swapped so the executor can mirror the emitted pairs back.
    Range queries and kNN candidates always index the data side, because the
    CSR result is keyed by query row.
-2. **Batch decomposition** — when the backend supports cell subsets, the
-   existing :class:`~repro.core.batching.BatchPlanner` sizes the result
-   buffer against the device model and splits the non-empty cells into at
-   least ``min_batches`` batches; probe-side work is split into contiguous
-   query-row batches, so both join types flow through the same batched
-   executor.
+2. **Batch decomposition** — when the backend supports cell subsets (and
+   does not own its decomposition, as the sharded/multiprocess backends
+   do), the existing :class:`~repro.core.batching.BatchPlanner` sizes the
+   result buffer against the device model and splits the non-empty cells
+   into at least ``min_batches`` batches; probe-side work is split into
+   contiguous query-row batches balanced by sampled per-row result-size
+   estimates (:func:`repro.core.batching.estimate_probe_row_costs`), so
+   both join types flow through the same batched executor.
 3. **UNICOMP eligibility** — the work-avoidance rule applies to self-joins
    on backends that implement it; it is silently disabled where it cannot
    apply (bipartite probes, brute force).
@@ -26,7 +28,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.batching import BatchPlan, BatchPlanner
+from repro.core.batching import (
+    BatchPlan,
+    BatchPlanner,
+    estimate_probe_row_costs,
+    split_by_cost,
+)
 from repro.core.gridindex import GridIndex
 from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelOutput
 from repro.core.result import PairFragments
@@ -129,7 +136,8 @@ class QueryPlanner:
         unicomp = self._resolve_unicomp(query)
 
         batch_plan = None
-        if self.batching and self.backend.supports_cell_subset and query.batching:
+        if self.batching and self.backend.supports_cell_subset \
+                and query.batching and not self.backend.owns_decomposition:
             planner = self._batch_planner or BatchPlanner(
                 device=self.device, min_batches=self.min_batches)
 
@@ -170,10 +178,14 @@ class QueryPlanner:
             index, build_time = self._build_index(right, query.eps)
 
         probe_batches = None
-        if self.batching and query.batching and left.shape[0] >= 2 * self.min_batches:
-            probe_batches = [np.asarray(b, dtype=np.int64) for b in
-                             np.array_split(np.arange(left.shape[0], dtype=np.int64),
-                                            self.min_batches)]
+        if self.batching and query.batching and left.shape[0] >= 2 * self.min_batches \
+                and not self.backend.owns_decomposition:
+            # Contiguous row batches balanced by sampled per-row result-size
+            # estimates (the probe-side analogue of the cell batcher), so a
+            # batch probing dense space carries as much work as one probing
+            # sparse space.
+            costs = estimate_probe_row_costs(left, index)
+            probe_batches = split_by_cost(costs, self.min_batches)
 
         return QueryPlan(query=query, backend=self.backend, index=index,
                          probe_points=left, swapped=swapped, unicomp=False,

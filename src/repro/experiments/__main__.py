@@ -37,6 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to these dataset names")
     parser.add_argument("--algorithms", nargs="*", default=None,
                         help="restrict to these algorithm labels")
+    parser.add_argument("--workers", nargs="*", type=int, default=None,
+                        help="worker counts for the scaling experiment")
     return parser
 
 
@@ -68,6 +70,22 @@ def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> Dict[str, Any]:
             kwargs["seed"] = args.seed
         if args.algorithms:
             kwargs["backends"] = args.algorithms
+        return kwargs
+    if experiment_id == "scaling":
+        if args.points is not None:
+            kwargs["n_points"] = args.points
+        if args.trials != 1:
+            kwargs["trials"] = args.trials
+        if args.seed:
+            kwargs["seed"] = args.seed
+        if args.workers:
+            kwargs["workers"] = tuple(args.workers)
+        if args.datasets:
+            if len(args.datasets) > 1:
+                raise SystemExit("the scaling experiment sweeps worker counts "
+                                 "over a single dataset; pass one --datasets "
+                                 f"value, got {args.datasets}")
+            kwargs["dataset"] = args.datasets[0]
         return kwargs
     # Figure 4-9 experiments share the response-time signature.
     if args.points is not None:

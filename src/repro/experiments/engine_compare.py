@@ -21,7 +21,8 @@ from repro.utils.timing import Timer
 
 #: Backends compared by default; the reference backends are orders of
 #: magnitude slower, so they only run at small scales (see ``run``).
-DEFAULT_BACKENDS = ("vectorized", "cellwise", "bruteforce")
+DEFAULT_BACKENDS = ("vectorized", "sharded", "multiprocess", "cellwise",
+                    "bruteforce")
 
 #: Reference backends excluded above this dataset size.
 SLOW_BACKEND_LIMIT = 1500

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
 from repro.experiments import (engine_compare, fig1, fig4, fig5, fig6, fig7,
-                               fig8, fig9, table1, table2)
+                               fig8, fig9, scaling, table1, table2)
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
                          "(self-join + bipartite, all registered backends)",
                          engine_compare.run_engine_compare,
                          engine_compare.format_engine_compare),
+    "scaling": Experiment("scaling", "Parallel subsystem: multiprocess "
+                          "self-join speedup vs worker count",
+                          scaling.run_scaling, scaling.format_scaling),
 }
 
 

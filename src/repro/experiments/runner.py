@@ -37,11 +37,13 @@ ALGORITHMS = ("GPU: Brute Force", "R-Tree", "SuperEGO", "GPU", "GPU: unicomp")
 EPS_INDEPENDENT = ("GPU: Brute Force",)
 
 #: Engine-backed variants: ``Engine[<backend>]`` runs the self-join through
-#: :mod:`repro.engine` on the named execution backend, so every registered
-#: backend (including future sharded/multiprocess ones) can be measured with
-#: the same harness as the paper's algorithms.
+#: :mod:`repro.engine` on the named execution backend — parameterized names
+#: work too (``Engine[multiprocess(4)]``) — so every registered backend can
+#: be measured with the same harness as the paper's algorithms.
 ENGINE_ALGORITHM_PREFIX = "Engine["
-ENGINE_ALGORITHMS = ("Engine[vectorized]", "Engine[cellwise]", "Engine[bruteforce]")
+ENGINE_ALGORITHMS = ("Engine[vectorized]", "Engine[cellwise]",
+                     "Engine[bruteforce]", "Engine[sharded]",
+                     "Engine[multiprocess]")
 
 
 def engine_backend_of(algorithm: str) -> Optional[str]:

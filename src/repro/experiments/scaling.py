@@ -1,0 +1,95 @@
+"""Scaling experiment: multiprocess self-join speedup vs worker count.
+
+Not a figure of the paper — this experiment exists for the parallel
+execution subsystem (:mod:`repro.parallel`): it times the engine self-join
+on the default synthetic dataset once on the serial ``vectorized`` backend
+and once per requested worker count on ``multiprocess(w)``, and reports the
+speedup relative to the serial run.  On a multi-core host the speedup
+should approach the worker count until memory bandwidth saturates; the
+rendered table records the host's CPU count so single-core CI numbers are
+interpretable (a pool cannot beat serial on one core — the overhead column
+is the interesting number there).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.stats import mean_and_std
+from repro.data.datasets import DATASETS
+from repro.engine import Query, QueryPlanner, execute
+from repro.experiments.report import format_table
+from repro.utils.timing import Timer
+
+#: Worker counts swept by default (the acceptance point is 4 workers).
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
+#: Default synthetic dataset (2-D uniform at the 2M-scale registry entry).
+DEFAULT_DATASET = "Syn2D2M"
+
+
+@dataclass
+class ScalingRow:
+    """One timed configuration of the scaling sweep."""
+
+    label: str
+    workers: int          # 0 for the serial baseline
+    time_s: float
+    time_std: float
+    speedup: float        # serial_time / time_s
+    num_pairs: int
+
+
+def _time_backend(backend: str, query: Query, trials: int) -> tuple:
+    planner = QueryPlanner(backend=backend)
+    times: List[float] = []
+    num_pairs = 0
+    for _ in range(max(1, trials)):
+        with Timer() as timer:
+            num_pairs = execute(planner.plan(query)).num_pairs
+        times.append(timer.elapsed)
+    mean, std = mean_and_std(times)
+    return mean, std, num_pairs
+
+
+def run_scaling(n_points: Optional[int] = None, trials: int = 1, seed: int = 0,
+                eps: Optional[float] = None,
+                workers: Sequence[int] = DEFAULT_WORKER_COUNTS,
+                dataset: str = DEFAULT_DATASET) -> List[ScalingRow]:
+    """Time the self-join serially and at each worker count.
+
+    ``eps`` defaults to the midpoint of the dataset's density-rescaled ε
+    sweep, giving a result set representative of the paper's figures.
+    """
+    spec = DATASETS[dataset]
+    points = spec.generate(n_points=n_points, seed=seed)
+    if eps is None:
+        sweep = spec.scaled_eps(n_points)
+        eps = float(sweep[len(sweep) // 2])
+    query = Query.self_join(points, eps)
+
+    rows: List[ScalingRow] = []
+    serial_time, serial_std, serial_pairs = _time_backend(
+        "vectorized", query, trials)
+    rows.append(ScalingRow(label="vectorized (serial)", workers=0,
+                           time_s=serial_time, time_std=serial_std,
+                           speedup=1.0, num_pairs=serial_pairs))
+    for w in workers:
+        mean, std, pairs = _time_backend(f"multiprocess({int(w)})", query, trials)
+        rows.append(ScalingRow(
+            label=f"multiprocess({int(w)})", workers=int(w), time_s=mean,
+            time_std=std, speedup=serial_time / mean if mean > 0 else 0.0,
+            num_pairs=pairs))
+    return rows
+
+
+def format_scaling(rows: List[ScalingRow]) -> str:
+    """Render the sweep as an aligned table (host core count in the title)."""
+    return format_table(
+        ("backend", "workers", "time_s", "time_std", "speedup", "pairs"),
+        [(r.label, r.workers, r.time_s, r.time_std, r.speedup, r.num_pairs)
+         for r in rows],
+        title=f"Self-join scaling vs worker count "
+              f"(host cpus: {os.cpu_count()}, speedup vs serial vectorized)")

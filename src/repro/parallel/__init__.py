@@ -1,0 +1,48 @@
+"""repro.parallel — the parallel execution subsystem.
+
+The paper's scaling argument is that the grid decomposes the self-join into
+independent batches that can execute concurrently; this package turns the
+engine's ``Query → QueryPlanner → ExecutionBackend`` seam into real
+multi-core speedups on that exact decomposition:
+
+* :class:`~repro.parallel.shards.ShardPlanner` partitions the non-empty
+  cells into contiguous ``B``-order shards, work-balanced by sampled
+  per-cell cost estimates (:func:`repro.core.batching.estimate_cell_costs`).
+  Shards partition the origin cells, so merging their pair fragments needs
+  no deduplication — with or without UNICOMP.
+* :class:`~repro.parallel.sharded.ShardedBackend` (``sharded``) runs any
+  inner backend shard-by-shard serially and merges the sinks — the merge
+  path, exercised without concurrency.
+* :class:`~repro.parallel.mp.MultiprocessBackend` (``multiprocess``) runs
+  the same shards on a ``multiprocessing`` pool; the dataset ships to each
+  worker once via the pool initializer and fragments return as plain
+  arrays.
+
+Both register with the engine's backend registry (lazily, from
+:mod:`repro.engine.backends`), so ``Engine[sharded]`` and
+``Engine[multiprocess(4)]`` work everywhere a backend name does:
+self-joins, bipartite joins, range queries, kNN candidate generation and
+the experiment harness.  The ``scaling`` experiment
+(:mod:`repro.experiments.scaling`) measures self-join speedup versus
+worker count.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.shards import (
+    ShardPlan,
+    ShardPlanner,
+    default_worker_count,
+    merge_fragments,
+)
+from repro.parallel.sharded import ShardedBackend
+from repro.parallel.mp import MultiprocessBackend
+
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedBackend",
+    "MultiprocessBackend",
+    "default_worker_count",
+    "merge_fragments",
+]

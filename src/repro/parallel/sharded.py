@@ -1,0 +1,97 @@
+"""Sharded execution: run any inner backend shard-by-shard and merge.
+
+:class:`ShardedBackend` is the serial half of the parallel subsystem: it
+decomposes the work with :class:`~repro.parallel.shards.ShardPlanner`
+(self-joins: cost-balanced cell shards; probes: cost-balanced row groups),
+runs an *inner* backend per shard into a private
+:class:`~repro.core.result.PairFragments` sink and merges the sinks.  The
+result is pair-identical to the inner backend run unsharded — the shard
+merge path this backend exercises is exactly what
+:class:`repro.parallel.mp.MultiprocessBackend` executes concurrently, and
+what an out-of-core execution would stream.
+
+Registered as ``sharded``; parameterized lookups configure it:
+``sharded(7)`` uses seven shards, ``sharded(4, cellwise)`` runs the
+cellwise reference under a four-shard decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.batching import estimate_probe_row_costs, split_by_cost
+from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelStats
+from repro.core.result import PairFragments
+from repro.engine.backends import (
+    ExecutionBackend,
+    get_backend,
+    register_backend,
+    _probe_rows,
+)
+from repro.parallel.shards import ShardPlanner, default_worker_count, merge_fragments
+
+
+@register_backend
+class ShardedBackend(ExecutionBackend):
+    """Shard-decomposed execution of an inner backend (serial merge path)."""
+
+    name = "sharded"
+    supports_cell_subset = True
+    owns_decomposition = True
+
+    def __init__(self, n_shards: Optional[int] = None,
+                 inner: str = "vectorized") -> None:
+        if n_shards is not None and int(n_shards) < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = int(n_shards) if n_shards is not None else None
+        self.inner_name = str(inner)
+
+    @property
+    def inner(self) -> ExecutionBackend:
+        """The backend executed per shard."""
+        return get_backend(self.inner_name)
+
+    @property
+    def supports_unicomp(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_unicomp
+
+    def _resolved_shards(self) -> int:
+        return self.n_shards or default_worker_count()
+
+    # ------------------------------------------------------------- operators
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        inner = self.inner
+        plan = ShardPlanner(n_shards=self._resolved_shards()).plan(index, cells)
+        stats = KernelStats()
+        parts = []
+        for shard in plan.shards:
+            part = PairFragments(index.num_points)
+            stats.merge(inner.run_selfjoin(
+                index, eps, shard, part, unicomp=unicomp,
+                max_candidate_pairs=max_candidate_pairs, device=device,
+                threads_per_block=threads_per_block))
+            parts.append(part)
+        sink.extend(merge_fragments(index.num_points, parts))
+        return stats
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        inner = self.inner
+        rows = _probe_rows(queries, rows)
+        stats = KernelStats()
+        if rows.shape[0] == 0:
+            return stats
+        costs = estimate_probe_row_costs(queries[rows], index)
+        parts = []
+        for group in split_by_cost(costs, self._resolved_shards()):
+            part = PairFragments(sink.num_rows)
+            stats.merge(inner.run_probe(
+                queries, index, eps, part, rows=rows[group],
+                max_candidate_pairs=max_candidate_pairs))
+            parts.append(part)
+        sink.extend(merge_fragments(sink.num_rows, parts))
+        return stats

@@ -14,7 +14,8 @@ import pytest
 from repro.baselines.bruteforce import bruteforce_join, bruteforce_selfjoin
 from repro.core.result import NeighborTable
 from repro.data.synthetic import uniform_dataset
-from repro.engine import Query, QueryPlanner, execute, list_backends, run_query
+from repro.engine import (Query, QueryPlanner, available_backends, execute,
+                          run_query)
 
 ALL_DIMS = [2, 3, 4, 5, 6]
 
@@ -43,7 +44,7 @@ class TestSelfJoinParity:
         eps = EPS_BY_DIM[dims]
         reference = _reference_selfjoin_table(points, eps)
         assert reference.num_pairs > points.shape[0]  # non-trivial workload
-        for backend in list_backends():
+        for backend in available_backends():
             if backend == "pointwise" and unicomp:
                 continue  # no UNICOMP variant (rejected at planning time)
             table = _selfjoin_table(points, eps, backend, unicomp)
@@ -77,7 +78,7 @@ class TestBipartiteParity:
         eps = EPS_BY_DIM[dims]
         reference = bruteforce_join(left, right, eps).result.to_neighbor_table()
         assert reference.num_pairs > 0
-        for backend in list_backends():
+        for backend in available_backends():
             table = run_query(Query.bipartite_join(left, right, eps),
                               backend=backend).neighbor_table
             assert table.same_contents_as(reference), (backend, dims)
