@@ -1,16 +1,22 @@
 """Benchmark: parallel subsystem — self-join speedup vs worker count.
 
 Times the engine self-join on the default synthetic dataset serially
-(``vectorized``) and on ``multiprocess(w)`` for increasing worker counts.
-On a host with ≥4 cores the 4-worker configuration should be well above
-1.5× the serial time; on fewer cores the sweep instead quantifies the
-pool/IPC overhead (the report records the host CPU count so the numbers
-stay interpretable).
+(``vectorized``) and on ``multiprocess(w)`` for increasing worker counts,
+each inside one :class:`~repro.engine.session.EngineSession` so the report
+records both the **cold** first query (pool creation + shared-memory attach
++ index build) and the **warm** steady state (persistent pool, cached
+index).  On a host with ≥4 cores the 4-worker warm configuration should be
+well above 1.5× the serial time; on fewer cores the speedup assertion is
+*skipped* (recording the CPU count) rather than silently degenerating —
+the report is still written, and there the warm-vs-cold gap quantifies the
+pool/IPC start-up overhead the session lifecycle amortizes.
 """
 
 from __future__ import annotations
 
 import os
+
+import pytest
 
 from repro.experiments.scaling import (
     DEFAULT_WORKER_COUNTS,
@@ -18,6 +24,10 @@ from repro.experiments.scaling import (
     run_scaling,
 )
 from benchmarks.conftest import bench_points, bench_trials
+
+#: Cores below which the parallel-speedup assertion is meaningless (a pool
+#: cannot beat serial without real parallelism).
+MIN_CORES_FOR_SPEEDUP = 4
 
 
 def test_bench_scaling(benchmark, write_report):
@@ -32,11 +42,24 @@ def test_bench_scaling(benchmark, write_report):
     pair_counts = {row.num_pairs for row in rows}
     assert len(pair_counts) == 1
     assert rows[0].num_pairs > 0
-    # Performance shape, only meaningful with real parallelism available:
-    # with >= 4 cores, 4 workers must beat serial by the paper-style margin.
+
     cores = os.cpu_count() or 1
-    by_workers = {row.workers: row for row in rows}
-    if cores >= 4 and 4 in by_workers:
-        assert by_workers[4].speedup > 1.5, format_scaling(rows)
     benchmark.extra_info["host_cpus"] = cores
     benchmark.extra_info["speedups"] = {row.label: row.speedup for row in rows}
+    benchmark.extra_info["cold_vs_warm"] = {
+        row.label: (row.cold_time_s, row.time_s) for row in rows}
+
+    # Performance shape, only meaningful with real parallelism available.
+    if cores < MIN_CORES_FOR_SPEEDUP:
+        pytest.skip(
+            f"speedup assertion needs >= {MIN_CORES_FOR_SPEEDUP} cores, host "
+            f"has {cores}; warm-vs-cold pool timings recorded in "
+            "benchmarks/reports/scaling.txt")
+    by_workers = {row.workers: row for row in rows}
+    if 4 in by_workers:
+        # 4 warm workers must beat serial by the paper-style margin, and the
+        # warm session query must beat its own cold start (it skips pool
+        # creation, dataset shipping and index construction).
+        assert by_workers[4].speedup > 1.5, format_scaling(rows)
+        assert by_workers[4].time_s < by_workers[4].cold_time_s, \
+            format_scaling(rows)

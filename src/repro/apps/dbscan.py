@@ -11,6 +11,12 @@ step is a standard core-point expansion over that table.
 
 Labels follow the scikit-learn convention: ``-1`` marks noise, clusters are
 numbered from 0.
+
+Parameter searches (sweeping ε / ``min_pts`` over one dataset) should pass
+an open :class:`~repro.engine.session.EngineSession`: every call then reuses
+the session's cached per-ε grid indexes and, on the ``multiprocess``
+backend, its persistent worker pool — only the first call at each ε pays
+index construction.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from repro.core.result import NeighborTable
 from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig
+from repro.engine.session import EngineSession
 from repro.utils.validation import check_eps, check_points
 
 #: Label assigned to noise points.
@@ -50,14 +57,16 @@ class DBSCANResult:
         return np.bincount(self.labels[self.labels >= 0], minlength=self.n_clusters)
 
 
-def dbscan(points: np.ndarray, eps: float, min_pts: int,
-           config: Optional[SelfJoinConfig] = None) -> DBSCANResult:
+def dbscan(points: Optional[np.ndarray], eps: float, min_pts: int,
+           config: Optional[SelfJoinConfig] = None,
+           session: Optional[EngineSession] = None) -> DBSCANResult:
     """Cluster ``points`` with DBSCAN using a self-join for the neighborhoods.
 
     Parameters
     ----------
     points:
-        ``(n_points, n_dims)`` coordinates.
+        ``(n_points, n_dims)`` coordinates; may be ``None`` when a
+        ``session`` supplies them.
     eps:
         Neighborhood radius.
     min_pts:
@@ -65,23 +74,40 @@ def dbscan(points: np.ndarray, eps: float, min_pts: int,
         be a core point — the usual DBSCAN convention.
     config:
         Optional :class:`~repro.core.selfjoin.SelfJoinConfig` controlling the
-        underlying self-join (UNICOMP, batching, kernel choice).
+        underlying self-join (UNICOMP, batching, kernel choice).  Mutually
+        exclusive with ``session`` (the session fixes backend and planner).
+    session:
+        Optional open :class:`~repro.engine.session.EngineSession` owning the
+        dataset; the neighborhood self-join then runs with the session's
+        cached indexes and attached backend.  ``points`` must be
+        ``session.points`` (or ``None``).
 
     Returns
     -------
     DBSCANResult
     """
-    pts = check_points(points)
     eps = check_eps(eps)
     if min_pts < 1:
         raise ValueError("min_pts must be >= 1")
 
-    join_config = config or SelfJoinConfig()
-    if not join_config.include_self:
-        # Neighborhood sizes in DBSCAN count the point itself; re-add it.
-        raise ValueError("DBSCAN requires include_self=True in the self-join config")
-    joiner = GPUSelfJoin(join_config)
-    table = joiner.join_table(pts, eps)
+    if session is not None:
+        if config is not None:
+            raise ValueError("pass either a session or a self-join config, "
+                             "not both (the session fixes the backend)")
+        pts = session.resolve_points(points)
+        # DBSCAN needs include_self=True: the trivial self-pair makes the
+        # neighborhood count include the point itself (engine default).
+        table = session.self_join(eps).neighbor_table
+    else:
+        if points is None:
+            raise ValueError("points is required when no session is given")
+        pts = check_points(points)
+        join_config = config or SelfJoinConfig()
+        if not join_config.include_self:
+            # Neighborhood sizes in DBSCAN count the point itself; re-add it.
+            raise ValueError("DBSCAN requires include_self=True in the self-join config")
+        joiner = GPUSelfJoin(join_config)
+        table = joiner.join_table(pts, eps)
 
     n = pts.shape[0]
     degrees = table.counts()

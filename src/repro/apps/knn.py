@@ -9,6 +9,13 @@ candidates lie within radius r, the k-th neighbor distance is at most r, so
 every true neighbor is within r and therefore among the candidates).  The
 top-k selection over the CSR candidate table is fully vectorized: one bulk
 distance evaluation over all (query, candidate) pairs and one grouped sort.
+
+Candidate generation runs inside an
+:class:`~repro.engine.session.EngineSession` — pass an open one to amortize
+index construction (and, on the ``multiprocess`` backend, pool start-up and
+dataset shipping) across repeated searches; without one, a thin one-shot
+session wraps the single call so the radius-doubling rounds still share
+their per-ε indexes.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.core.gridindex import GridIndex
 from repro.engine.executor import execute
 from repro.engine.planner import QueryPlanner
 from repro.engine.query import Query
+from repro.engine.session import EngineSession
 from repro.utils.validation import check_points
 
 
@@ -38,16 +46,19 @@ class KNNResult:
         return int(self.indices.shape[1])
 
 
-def knn_search(points: np.ndarray, k: int, queries: Optional[np.ndarray] = None,
+def knn_search(points: Optional[np.ndarray], k: int,
+               queries: Optional[np.ndarray] = None,
                cell_width: Optional[float] = None, include_self: bool = False,
                index: Optional[GridIndex] = None,
-               backend: str = "vectorized") -> KNNResult:
+               backend=None,
+               session: Optional[EngineSession] = None) -> KNNResult:
     """Exact k-nearest-neighbor search using the paper's grid index.
 
     Parameters
     ----------
     points:
-        ``(n_points, n_dims)`` dataset.
+        ``(n_points, n_dims)`` dataset; may be ``None`` when a ``session``
+        supplies it.
     k:
         Number of neighbors per query.
     queries:
@@ -60,15 +71,34 @@ def knn_search(points: np.ndarray, k: int, queries: Optional[np.ndarray] = None,
         itself as one of its neighbors.
     index:
         Optional pre-built :class:`GridIndex` over ``points`` (its ``eps`` is
-        then used as the cell width).
+        then used as the cell width).  Mutually exclusive with ``session``.
     backend:
-        Engine execution backend used for the candidate probes.
+        Engine execution backend (name or instance) used for the candidate
+        probes; defaults to ``"vectorized"``.  Mutually exclusive with
+        ``session`` — the session's backend runs the search.
+    session:
+        Optional open :class:`~repro.engine.session.EngineSession` owning the
+        dataset; repeated searches then reuse its cached per-ε indexes and
+        attached backend state.  ``points`` must be ``session.points`` (or
+        ``None``).
 
     Returns
     -------
     KNNResult
     """
-    pts = check_points(points)
+    if session is not None:
+        if index is not None:
+            raise ValueError("pass either a pre-built index or a session, not both")
+        if backend is not None:
+            raise ValueError("pass either a backend or a session, not both "
+                             "(the session fixes the backend)")
+        pts = session.resolve_points(points)
+    elif points is None:
+        raise ValueError("points is required when no session is given")
+    else:
+        pts = check_points(points)
+    if backend is None:
+        backend = "vectorized"
     n = pts.shape[0]
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -81,7 +111,17 @@ def knn_search(points: np.ndarray, k: int, queries: Optional[np.ndarray] = None,
                                  queries=None if self_query else check_points(queries),
                                  cell_width=cell_width,
                                  include_self=include_self)
-    engine_result = execute(QueryPlanner(backend=backend).plan(query, index=index))
+    if index is not None:
+        engine_result = execute(QueryPlanner(backend=backend).plan(query, index=index))
+    elif session is not None:
+        engine_result = session.run(query)
+    else:
+        # One-shot wrapper: a private session scoped to this call, so the
+        # radius-doubling rounds share their per-ε indexes (and a stateful
+        # backend keeps one pool across the rounds).  keep_warm=False: the
+        # call must not leave a parked pool or shared memory behind.
+        with EngineSession(pts, backend=backend, keep_warm=False) as one_shot:
+            engine_result = one_shot.run(query)
     table = engine_result.neighbor_table
 
     query_pts = pts if self_query else query.queries

@@ -41,6 +41,14 @@ backend (``backend="multiprocess(4)"`` for four workers).
 ``list_backends()`` enumerates the registry, ``backend_availability()``
 reports which backends can run (an optional dependency may be missing),
 and :func:`register_backend` / :func:`register_lazy_backend` add new ones.
+
+When one dataset serves many queries, open an :class:`EngineSession`
+(``with EngineSession(points, backend="multiprocess(4)") as s: ...``): it
+caches the grid index per ε, and stateful backends attach persistent
+per-dataset resources to it (the multiprocess pool + shared-memory
+dataset), so warm queries skip index construction, pool start-up and
+dataset shipping while producing bit-identical results to the one-shot
+path.  See :mod:`repro.engine.session`.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ from repro.engine.backends import (
 )
 from repro.engine.executor import EngineResult, execute
 from repro.engine.planner import QueryPlan, QueryPlanner
+from repro.engine.session import DatasetIdentity, EngineSession, SessionStats
 from repro.engine.query import (
     BIPARTITE_JOIN,
     KNN_CANDIDATES,
@@ -75,6 +84,9 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "EngineResult",
+    "EngineSession",
+    "DatasetIdentity",
+    "SessionStats",
     "ExecutionBackend",
     "BACKENDS",
     "BackendUnavailableError",
@@ -96,6 +108,7 @@ __all__ = [
 
 def run_query(query: Query, index: Optional[GridIndex] = None,
               planner: Optional[QueryPlanner] = None,
+              session: Optional[EngineSession] = None,
               **planner_kwargs) -> EngineResult:
     """Plan and execute ``query`` in one call.
 
@@ -109,7 +122,17 @@ def run_query(query: Query, index: Optional[GridIndex] = None,
         Optional pre-configured :class:`QueryPlanner`; mutually exclusive
         with ``planner_kwargs`` (e.g. ``backend="cellwise"``), which are
         forwarded to a fresh planner.
+    session:
+        Optional open :class:`EngineSession` owning the query's indexed
+        side; the query then runs with the session's planner, cached
+        indexes and attached backend state.  Mutually exclusive with
+        ``planner`` and ``planner_kwargs``.
     """
+    if session is not None:
+        if planner is not None or planner_kwargs:
+            raise ValueError("pass either a session or planner configuration, "
+                             "not both")
+        return session.run(query, index=index)
     if planner is not None and planner_kwargs:
         raise ValueError("pass either a planner instance or planner kwargs, not both")
     planner = planner or QueryPlanner(**planner_kwargs)

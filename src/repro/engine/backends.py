@@ -91,6 +91,25 @@ class ExecutionBackend(abc.ABC):
     #: would otherwise multiply the decomposition overhead per batch.
     owns_decomposition: bool = False
 
+    # ------------------------------------------------------ session lifecycle
+    def attach(self, session) -> None:
+        """Prepare persistent per-dataset state for an opening session.
+
+        Called once when an :class:`~repro.engine.session.EngineSession`
+        opens.  Stateful backends override this to build resources that
+        outlive a single operator call — the ``multiprocess`` backend
+        creates its persistent worker pool and the shared-memory view of
+        ``session.points`` here.  The default is a no-op, so stateless
+        backends need not care about sessions at all.
+        """
+
+    def detach(self, session) -> None:
+        """Release (or idle) the per-dataset state of a closing session.
+
+        Paired with :meth:`attach`; called from ``EngineSession.close()``.
+        The default is a no-op.
+        """
+
     @abc.abstractmethod
     def run_selfjoin(self, index: GridIndex, eps: float,
                      cells: Optional[np.ndarray], sink: PairFragments, *,
@@ -616,3 +635,7 @@ class BruteForceBackend(ExecutionBackend):
 # --------------------------------------------------------------------------
 register_lazy_backend("sharded", "repro.parallel.sharded")
 register_lazy_backend("multiprocess", "repro.parallel.mp")
+# Real-GPU backend: listed for discoverability even where CuPy is absent —
+# backend_availability() reports it as registered-but-unavailable with the
+# missing dependency instead of an unknown-name KeyError.
+register_lazy_backend("cupy", "repro.parallel.cupy_backend", requires="cupy")

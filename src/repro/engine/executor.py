@@ -255,7 +255,13 @@ def _execute_knn_candidates(plan: QueryPlan) -> EngineResult:
         if remaining.shape[0] == 0:
             break
         radius *= 2.0
-        index = GridIndex.build(data, radius)
+        # Session-planned queries resolve the doubled-radius index through
+        # the session's per-ε cache, so repeated kNN calls (and their
+        # doubling rounds) stop paying index construction each time.
+        if plan.session is not None:
+            index = plan.session.index_for(radius)
+        else:
+            index = GridIndex.build(data, radius)
 
     if remaining.shape[0]:
         # Degenerate grids / extreme outliers: hand the stragglers every

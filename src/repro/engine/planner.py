@@ -24,7 +24,7 @@ into an executable :class:`QueryPlan`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.engine.backends import ExecutionBackend, get_backend
 from repro.gpusim.device import Device, DeviceSpec
 from repro.utils.timing import Timer
 from repro.utils.validation import check_points
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session → planner)
+    from repro.engine.session import EngineSession
 
 
 @dataclass
@@ -69,6 +72,10 @@ class QueryPlan:
     n_streams: int
     threads_per_block: int
     index_build_time: float = 0.0
+    #: The owning :class:`~repro.engine.session.EngineSession` when the plan
+    #: was produced through one; the executor resolves index rebuilds (the
+    #: kNN radius-doubling loop) through its cache instead of reconstructing.
+    session: Optional["EngineSession"] = None
 
     @property
     def num_rows(self) -> int:
@@ -83,7 +90,7 @@ class QueryPlanner:
     legacy API can delegate without translation.
     """
 
-    def __init__(self, backend: str = "vectorized", *,
+    def __init__(self, backend: Union[str, ExecutionBackend] = "vectorized", *,
                  device: Optional[Device] = None,
                  device_spec: Optional[DeviceSpec] = None,
                  batching: bool = True, min_batches: int = 3,
@@ -92,7 +99,11 @@ class QueryPlanner:
                  validate_index: bool = False,
                  max_dims: Optional[int] = None,
                  batch_planner: Optional[BatchPlanner] = None) -> None:
-        self.backend = get_backend(backend)
+        # A constructed backend instance is accepted directly so sessions
+        # (and tests) can attach private, stateful instances that bypass the
+        # shared registry cache.
+        self.backend = backend if isinstance(backend, ExecutionBackend) \
+            else get_backend(backend)
         self.device = device if device is not None else Device(device_spec)
         self.batching = bool(batching)
         self.min_batches = int(min_batches)
@@ -104,14 +115,24 @@ class QueryPlanner:
         self._batch_planner = batch_planner
 
     # ---------------------------------------------------------------- planning
-    def plan(self, query: Q.Query, index: Optional[GridIndex] = None) -> QueryPlan:
-        """Produce a :class:`QueryPlan`; builds the grid index unless supplied."""
+    def plan(self, query: Q.Query, index: Optional[GridIndex] = None,
+             session: Optional["EngineSession"] = None) -> QueryPlan:
+        """Produce a :class:`QueryPlan`; builds the grid index unless supplied.
+
+        When a ``session`` is given, the indexed side must be the session's
+        dataset and the grid index is resolved through the session's per-ε
+        cache instead of being rebuilt (cache hits plan with a zero
+        ``index_build_time``); the session is recorded on the plan so the
+        executor and attached backends reuse its state too.
+        """
+        if session is not None:
+            session.require_points(query)
         if query.kind == Q.SELF_JOIN:
-            return self._plan_self_join(query, index)
+            return self._plan_self_join(query, index, session)
         if query.kind in (Q.BIPARTITE_JOIN, Q.RANGE_QUERY):
-            return self._plan_probe(query, index)
+            return self._plan_probe(query, index, session)
         if query.kind == Q.KNN_CANDIDATES:
-            return self._plan_knn(query, index)
+            return self._plan_knn(query, index, session)
         raise ValueError(f"unplannable query kind {query.kind!r}")
 
     def _build_index(self, points: np.ndarray, eps: float) -> tuple[GridIndex, float]:
@@ -121,6 +142,14 @@ class QueryPlanner:
                 index.validate()
         return index, timer.elapsed
 
+    @staticmethod
+    def _session_index(session: "EngineSession",
+                       eps: float) -> tuple[GridIndex, float]:
+        """Resolve an index through the session cache (≈0 time on a hit)."""
+        with Timer() as timer:
+            index = session.index_for(eps)
+        return index, timer.elapsed
+
     def _resolve_unicomp(self, query: Q.Query) -> bool:
         if not query.unicomp or query.kind != Q.SELF_JOIN:
             return False
@@ -128,11 +157,15 @@ class QueryPlanner:
             raise ValueError("the pointwise reference kernel has no UNICOMP variant")
         return self.backend.supports_unicomp
 
-    def _plan_self_join(self, query: Q.Query, index: Optional[GridIndex]) -> QueryPlan:
+    def _plan_self_join(self, query: Q.Query, index: Optional[GridIndex],
+                        session: Optional["EngineSession"]) -> QueryPlan:
         points = check_points(query.points, max_dims=self.max_dims)
         build_time = 0.0
         if index is None:
-            index, build_time = self._build_index(points, query.eps)
+            if session is not None:
+                index, build_time = self._session_index(session, query.eps)
+            else:
+                index, build_time = self._build_index(points, query.eps)
         unicomp = self._resolve_unicomp(query)
 
         batch_plan = None
@@ -159,9 +192,10 @@ class QueryPlanner:
                          max_candidate_pairs=self.max_candidate_pairs,
                          n_streams=self.n_streams,
                          threads_per_block=self.threads_per_block,
-                         index_build_time=build_time)
+                         index_build_time=build_time, session=session)
 
-    def _plan_probe(self, query: Q.Query, index: Optional[GridIndex]) -> QueryPlan:
+    def _plan_probe(self, query: Q.Query, index: Optional[GridIndex],
+                    session: Optional["EngineSession"]) -> QueryPlan:
         left = query.queries
         right = query.points
         swapped = False
@@ -169,6 +203,11 @@ class QueryPlanner:
             if index.num_points != right.shape[0] or index.num_dims != right.shape[1]:
                 raise ValueError("the supplied index does not match the right-side dataset")
             build_time = 0.0
+        elif session is not None:
+            # The session dataset is the indexed side by construction, so the
+            # larger-side swap heuristic does not apply — swapping would
+            # defeat the cached index (and any attached backend state).
+            index, build_time = self._session_index(session, query.eps)
         else:
             # Index-side selection: index the larger side of a bipartite join
             # (more pruning per probe); range queries stay data-indexed.
@@ -194,15 +233,19 @@ class QueryPlanner:
                          max_candidate_pairs=self.max_candidate_pairs,
                          n_streams=self.n_streams,
                          threads_per_block=self.threads_per_block,
-                         index_build_time=build_time)
+                         index_build_time=build_time, session=session)
 
-    def _plan_knn(self, query: Q.Query, index: Optional[GridIndex]) -> QueryPlan:
+    def _plan_knn(self, query: Q.Query, index: Optional[GridIndex],
+                  session: Optional["EngineSession"]) -> QueryPlan:
         points = query.points
         build_time = 0.0
         if index is None:
             eps = query.eps if query.eps is not None \
                 else self._knn_cell_width(points, query.k)
-            index, build_time = self._build_index(points, eps)
+            if session is not None:
+                index, build_time = self._session_index(session, eps)
+            else:
+                index, build_time = self._build_index(points, eps)
         return QueryPlan(query=query, backend=self.backend, index=index,
                          probe_points=query.queries, swapped=False, unicomp=False,
                          eps=float(index.eps), batch_plan=None,
@@ -210,7 +253,7 @@ class QueryPlanner:
                          max_candidate_pairs=self.max_candidate_pairs,
                          n_streams=self.n_streams,
                          threads_per_block=self.threads_per_block,
-                         index_build_time=build_time)
+                         index_build_time=build_time, session=session)
 
     @staticmethod
     def _knn_cell_width(points: np.ndarray, k: int) -> float:

@@ -1,0 +1,294 @@
+"""Session-based engine lifecycle: one dataset, many queries.
+
+The paper's pipeline amortizes one-time costs — grid-index construction,
+shipping the dataset to the device — across many kernel invocations.  An
+:class:`EngineSession` is that amortization made explicit at the API level:
+it owns one dataset for its whole lifetime, caches the
+:class:`~repro.core.gridindex.GridIndex` per ε (so the kNN radius-doubling
+loop and repeated experiment trials stop rebuilding it), and drives the
+backend lifecycle hooks ``attach``/``detach`` through which stateful
+backends keep per-dataset resources alive between queries (the
+``multiprocess`` backend keeps a persistent worker pool and a
+shared-memory view of the points array; see :mod:`repro.parallel.mp`).
+
+Lifecycle::
+
+    open ──► attach ──► query* ──► detach
+    EngineSession(points, backend="multiprocess(4)")
+        │  __enter__/open():  backend.attach(session)
+        │       pool + shared-memory dataset created once
+        ├─ session.self_join(eps) ─┐
+        ├─ session.range_query(..) ├─ index cache: ε → GridIndex
+        ├─ session.knn_candidates()┘  (hits skip the rebuild)
+        └  __exit__/close():  backend.detach(session)
+               pool kept idle for reuse (``max_idle``) or shut down
+
+Use a session whenever the same dataset is queried more than once (sweeps
+over ε, kNN, DBSCAN parameter searches, repeated trials); use the one-shot
+entry points (:func:`repro.engine.run_query`, :func:`repro.core.selfjoin.
+selfjoin`) for single queries — several of them are themselves thin
+``with EngineSession(...)`` wrappers now, so both paths produce
+bit-identical results.
+
+The session's dataset is normalized once (:func:`~repro.utils.validation.
+check_points`) and must not be mutated while the session is open: cached
+indexes — and, for attached backends, worker-side copies or shared-memory
+views — would go stale silently.  Mutating it *between* sessions is safe:
+idle-pool revival is guarded by a full-content digest taken when the pool
+was parked, so a stale snapshot is discarded rather than revived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.gridindex import GridIndex
+from repro.engine.backends import ExecutionBackend
+from repro.engine.executor import EngineResult, execute
+from repro.engine.planner import QueryPlanner
+from repro.engine.query import Query
+from repro.utils.validation import check_eps, check_points
+
+#: Monotonic token source distinguishing session instances (two sessions
+#: over the same array share a dataset identity but not a token).
+_SESSION_TOKENS = itertools.count()
+
+#: Rows sampled (evenly strided) into the dataset fingerprint.
+_FINGERPRINT_SAMPLE_ROWS = 256
+
+
+@dataclass(frozen=True)
+class DatasetIdentity:
+    """Identity of a session's dataset, usable as a pool/cache key.
+
+    ``array_id`` is the CPython object id of the normalized points array —
+    stable while the session holds its reference, but reusable after the
+    array is freed; the sampled content ``fingerprint`` guards cached
+    per-dataset resources (idle worker pools holding old shared-memory
+    copies) against such id reuse.
+    """
+
+    array_id: int
+    shape: Tuple[int, ...]
+    dtype: str
+    fingerprint: str
+
+
+def dataset_identity(points: np.ndarray) -> DatasetIdentity:
+    """Compute the :class:`DatasetIdentity` of a normalized points array."""
+    n = points.shape[0]
+    step = max(1, n // _FINGERPRINT_SAMPLE_ROWS)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(points[::step]).tobytes())
+    digest.update(np.asarray(points.shape, dtype=np.int64).tobytes())
+    return DatasetIdentity(array_id=id(points), shape=tuple(points.shape),
+                           dtype=str(points.dtype),
+                           fingerprint=digest.hexdigest())
+
+
+@dataclass
+class SessionStats:
+    """Counters exposed for tests and reports."""
+
+    index_hits: int = 0
+    index_misses: int = 0
+    queries_run: int = 0
+
+
+class EngineSession:
+    """Owns one dataset for many queries; see the module docstring.
+
+    Parameters
+    ----------
+    points:
+        The dataset (normalized once; the session dataset is the *indexed*
+        side of every query it runs).
+    backend:
+        Backend name (``"multiprocess(4)"`` style parameterization works) or
+        a constructed :class:`~repro.engine.backends.ExecutionBackend`
+        instance; defaults to ``"vectorized"``.  Mutually exclusive with
+        ``planner`` (which fixes its own backend).
+    planner:
+        Optional pre-configured :class:`~repro.engine.planner.QueryPlanner`;
+        mutually exclusive with ``backend`` and ``planner_kwargs``.
+    max_cached_indexes:
+        LRU bound on the per-ε index cache (the kNN radius-doubling loop
+        creates one index per doubling).
+    keep_warm:
+        Whether a stateful backend may park this session's per-dataset
+        resources for revival after :meth:`close` (the ``multiprocess``
+        backend's idle-pool list).  Ephemeral sessions wrapped around a
+        single one-shot call pass ``False`` so the call leaves no pool,
+        shared memory or dataset reference behind.
+    """
+
+    def __init__(self, points: np.ndarray,
+                 backend: Union[str, ExecutionBackend, None] = None, *,
+                 planner: Optional[QueryPlanner] = None,
+                 max_cached_indexes: int = 8,
+                 keep_warm: bool = True,
+                 **planner_kwargs) -> None:
+        if planner is not None and (backend is not None or planner_kwargs):
+            raise ValueError("pass either a planner instance or a backend/"
+                             "planner kwargs, not both")
+        self.points = check_points(points)
+        self.planner = planner or QueryPlanner(
+            backend=backend if backend is not None else "vectorized",
+            **planner_kwargs)
+        self.max_cached_indexes = int(max_cached_indexes)
+        self.keep_warm = bool(keep_warm)
+        self.identity = dataset_identity(self.points)
+        self.token = next(_SESSION_TOKENS)
+        self.stats = SessionStats()
+        self._indexes = OrderedDict()
+        self._open = False
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend the session attaches to."""
+        return self.planner.backend
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the session is currently attached to its backend."""
+        return self._open
+
+    def open(self) -> "EngineSession":
+        """Attach the backend (idempotent); returns ``self`` for chaining."""
+        if not self._open:
+            self.backend.attach(self)
+            self._open = True
+        return self
+
+    def close(self) -> None:
+        """Detach the backend and drop the cached indexes (idempotent).
+
+        A closed session can be reopened; its caches start cold again, but
+        an idle backend pool for the same dataset identity may be revived
+        (see ``max_idle`` on :class:`repro.parallel.mp.MultiprocessBackend`).
+        """
+        if self._open:
+            self._open = False
+            self.backend.detach(self)
+        self._indexes.clear()
+
+    def __enter__(self) -> "EngineSession":
+        return self.open()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------ index cache
+    def index_for(self, eps: float) -> GridIndex:
+        """The grid index over the session dataset for cell width ``eps``.
+
+        Cached per ε with LRU eviction; the executor's kNN radius-doubling
+        loop resolves its rebuilt indexes through here, so repeated kNN
+        queries hit the cache on every doubling round.
+        """
+        key = check_eps(eps)
+        index = self._indexes.get(key)
+        if index is not None:
+            self._indexes.move_to_end(key)
+            self.stats.index_hits += 1
+            return index
+        index = GridIndex.build(self.points, key)
+        if self.planner.validate_index:
+            index.validate()
+        self.stats.index_misses += 1
+        self._indexes[key] = index
+        while len(self._indexes) > self.max_cached_indexes:
+            self._indexes.popitem(last=False)
+        return index
+
+    @property
+    def cached_eps(self) -> Tuple[float, ...]:
+        """ε values currently held in the index cache (LRU order)."""
+        return tuple(self._indexes)
+
+    def require_points(self, query: Query) -> None:
+        """Reject queries whose indexed side is not the session dataset.
+
+        Session query constructors guarantee this; callers building a
+        :class:`Query` by hand must pass ``session.points`` (the normalized
+        array) as the query's ``points``.
+        """
+        if query.points is not self.points:
+            raise ValueError(
+                "the query's indexed side is not this session's dataset; "
+                "build the query from session.points (the session-normalized "
+                "array) or use the session's query methods")
+
+    def resolve_points(self, points: Optional[np.ndarray]) -> np.ndarray:
+        """Resolve a consumer's ``points`` argument to the session dataset.
+
+        The shared contract of session-aware entry points (``knn_search``,
+        ``dbscan``): a caller may pass ``None`` or the session dataset
+        itself; anything else is rejected rather than silently substituted.
+        """
+        if points is not None and points is not self.points:
+            raise ValueError("with a session, points must be session.points "
+                             "(the session-normalized dataset) or None")
+        return self.points
+
+    # --------------------------------------------------------------- querying
+    def run(self, query: Query, index: Optional[GridIndex] = None) -> EngineResult:
+        """Plan ``query`` against this session and execute it.
+
+        The session auto-opens on first use; the planner resolves the grid
+        index through :meth:`index_for` instead of rebuilding it.
+        """
+        self.open()
+        self.stats.queries_run += 1
+        return execute(self.planner.plan(query, index=index, session=self))
+
+    def self_join(self, eps: float, *, unicomp: bool = True,
+                  include_self: bool = True, sort_result: bool = False,
+                  batching: bool = True) -> EngineResult:
+        """Self-join of the session dataset within ``eps``."""
+        return self.run(Query.self_join(
+            self.points, eps, unicomp=unicomp, include_self=include_self,
+            sort_result=sort_result, batching=batching))
+
+    def bipartite_join(self, left: np.ndarray, eps: float, *,
+                       batching: bool = True) -> EngineResult:
+        """Join an external ``left`` set against the session dataset.
+
+        The session dataset is always the indexed (right) side — the
+        planner's larger-side swap heuristic does not apply, which is what
+        keeps the cached index reusable.
+        """
+        return self.run(Query.bipartite_join(left, self.points, eps,
+                                             batching=batching))
+
+    def range_query(self, queries: np.ndarray, eps: float, *,
+                    batching: bool = True) -> EngineResult:
+        """Per-query ε-neighborhoods over the session dataset."""
+        return self.run(Query.range_query(self.points, queries, eps,
+                                          batching=batching))
+
+    def knn_candidates(self, k: int, queries: Optional[np.ndarray] = None, *,
+                       cell_width: Optional[float] = None,
+                       include_self: bool = False) -> EngineResult:
+        """kNN candidate generation over the session dataset.
+
+        Every radius-doubling round resolves its index through the session
+        cache, so repeated calls (and the rounds within one call) reuse the
+        per-ε indexes.
+        """
+        return self.run(Query.knn_candidates(
+            self.points, k, queries=queries, cell_width=cell_width,
+            include_self=include_self))

@@ -14,9 +14,15 @@ multi-core speedups on that exact decomposition:
   inner backend shard-by-shard serially and merges the sinks — the merge
   path, exercised without concurrency.
 * :class:`~repro.parallel.mp.MultiprocessBackend` (``multiprocess``) runs
-  the same shards on a ``multiprocessing`` pool; the dataset ships to each
-  worker once via the pool initializer and fragments return as plain
-  arrays.
+  the same shards on a ``multiprocessing`` pool; fragments return as plain
+  arrays.  One-shot calls ship the dataset to each worker once via the pool
+  initializer; inside an :class:`~repro.engine.session.EngineSession` the
+  backend instead keeps a *persistent pool keyed by dataset identity* with
+  a ``multiprocessing.shared_memory`` view of the points array, so repeated
+  queries pay neither pool start-up nor dataset shipping.
+* :mod:`~repro.parallel.cupy_backend` (``cupy``, lazily registered) is the
+  real-GPU backend seam: it is listed by the registry everywhere, reported
+  unavailable with the missing dependency where CuPy is not installed.
 
 Both register with the engine's backend registry (lazily, from
 :mod:`repro.engine.backends`), so ``Engine[sharded]`` and
@@ -36,13 +42,14 @@ from repro.parallel.shards import (
     merge_fragments,
 )
 from repro.parallel.sharded import ShardedBackend
-from repro.parallel.mp import MultiprocessBackend
+from repro.parallel.mp import MultiprocessBackend, MultiprocessStats
 
 __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "ShardedBackend",
     "MultiprocessBackend",
+    "MultiprocessStats",
     "default_worker_count",
     "merge_fragments",
 ]

@@ -2,15 +2,34 @@
 
 :class:`MultiprocessBackend` executes the same cost-balanced shard
 decomposition as :class:`repro.parallel.sharded.ShardedBackend`, but runs
-the shards on a ``multiprocessing`` pool.  The dataset is shipped to each
-worker exactly once through the pool *initializer* (pickled once per
-worker, not once per shard); every worker rebuilds the
+the shards on a ``multiprocessing`` pool.  Workers rebuild the
 :class:`~repro.core.gridindex.GridIndex` locally — index construction is a
 sort plus a run-length encoding, orders of magnitude cheaper than the join
 — which guarantees bit-identical ``B`` ordering without pickling the index
 arrays.  Workers return their shard's pair fragments as two plain int64
 arrays (cheap to pickle); the parent emits them into the caller's sink, so
 the merge path is identical to the serial sharded backend's.
+
+Two execution modes share those worker kernels:
+
+**One-shot** (no session): a fresh pool per operator call, the dataset
+shipped to each worker once through the pool *initializer*.  This is the
+original PR-2 path, kept as the fallback and for callers outside a session.
+
+**Session-attached** (the engine lifecycle of
+:class:`repro.engine.session.EngineSession`): :meth:`attach` creates a
+*persistent pool keyed by dataset identity* plus a
+``multiprocessing.shared_memory`` segment holding the points array; every
+worker maps the segment read-only (O(1) worker memory in dataset size,
+``track=False`` on Python ≥ 3.13, a resource-tracker unregister workaround
+below that, and a guarded fallback to the initializer-pickle path where
+shared memory is unusable).  Subsequent queries of the session — including
+kNN radius-doubling rounds at new ε, which workers index-cache locally —
+dispatch onto the warm pool with **no pool creation and no dataset
+re-shipping**.  :meth:`detach` parks the pool on an LRU idle list
+(``max_idle`` deep) so a follow-up session over the same dataset revives
+it; evicted or shut-down pools release their shared memory, and an
+``atexit`` hook tears down whatever is still alive at interpreter exit.
 
 Registered as ``multiprocess``; parameterized lookups configure it:
 ``multiprocess(4)`` uses four workers, ``multiprocess(2, cellwise)`` runs
@@ -23,9 +42,14 @@ the paper's framing of fully independent batches.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
-from typing import List, Optional, Tuple
+import sys
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -41,6 +65,11 @@ from repro.engine.backends import (
 )
 from repro.parallel.shards import ShardPlanner, default_worker_count
 
+try:
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shm = None
+
 #: Shards created per worker; mild oversubscription smooths out estimation
 #: error in the sampled per-cell costs (a worker that finishes its cheap
 #: shard early picks up another instead of idling).
@@ -50,12 +79,29 @@ SHARDS_PER_WORKER = 2
 #: ``forkserver``); the platform default when unset.
 START_METHOD_ENV_VAR = "REPRO_MP_START_METHOD"
 
-# Per-worker state installed by the pool initializer: the rebuilt grid
-# index, the probe-side query points, the inner backend and the kernel
+#: ``SharedMemory`` grew ``track=`` in Python 3.13; below that, attaching a
+#: segment registers it with the resource tracker, which would warn at exit
+#: and unlink a segment the parent still owns (see :func:`_attach_shared_view`).
+_SHM_HAS_TRACK = sys.version_info >= (3, 13)
+
+#: LRU bound on the per-worker index cache of a persistent pool (the kNN
+#: radius-doubling loop asks for one index per doubled ε).
+WORKER_INDEX_CACHE_SIZE = 8
+
+# Per-worker state installed by the one-shot pool initializer: the rebuilt
+# grid index, the probe-side query points, the inner backend and the kernel
 # chunk bound.  Plain module globals — each worker process has its own copy.
 _WORKER: dict = {}
 
+# Per-worker state of a *persistent* (session) pool: the dataset (a
+# shared-memory view or the pickled fallback), an ε-keyed local index cache
+# and the inner backend name.
+_SESSION_WORKER: dict = {}
 
+
+# --------------------------------------------------------------------------
+# one-shot worker kernels (fresh pool per operator call)
+# --------------------------------------------------------------------------
 def _init_worker(points: np.ndarray, queries: Optional[np.ndarray],
                  index_eps: float, inner: str, max_candidate_pairs: int) -> None:
     """Pool initializer: receive the dataset once, rebuild the index locally."""
@@ -89,9 +135,241 @@ def _run_probe_shard(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
     return keys, values, stats
 
 
+# --------------------------------------------------------------------------
+# persistent-pool worker kernels (session lifecycle)
+# --------------------------------------------------------------------------
+def _attach_shared_view(name: str, shape: Tuple[int, ...],
+                        dtype: str) -> Tuple[object, np.ndarray]:
+    """Map the dataset segment into this worker without tracker noise.
+
+    Returns ``(shm, view)``; the caller must keep ``shm`` referenced for as
+    long as the view is used.
+    """
+    if _SHM_HAS_TRACK:
+        shm = _shm.SharedMemory(name=name, track=False)
+    else:
+        # Pre-3.13 the attach path registers the segment with the (shared)
+        # resource tracker too; an unregister-after-attach would race with
+        # the parent's create-side registration (one tracker cache entry per
+        # name), so suppress the child-side registration instead — the
+        # parent's registration remains the single cleanup net.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _no_shm_register(name_, rtype):  # pragma: no cover - 3.13+ skips
+            if rtype != "shared_memory":
+                original_register(name_, rtype)
+
+        resource_tracker.register = _no_shm_register
+        try:
+            shm = _shm.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    # Every worker maps the same segment: a stray in-place write anywhere
+    # would silently corrupt the dataset under all of them (and under the
+    # park-time content digest).  Make that an immediate ValueError instead.
+    view.flags.writeable = False
+    return shm, view
+
+
+def _init_session_worker(shm_name: Optional[str], shape, dtype,
+                         pickled_points: Optional[np.ndarray],
+                         inner: str) -> None:
+    """Persistent-pool initializer: map (or receive) the dataset once."""
+    if shm_name is not None:
+        shm, points = _attach_shared_view(shm_name, shape, dtype)
+        _SESSION_WORKER["shm"] = shm  # keep the mapping alive
+    else:
+        points = pickled_points
+    _SESSION_WORKER["points"] = points
+    _SESSION_WORKER["indexes"] = OrderedDict()
+    _SESSION_WORKER["inner"] = inner
+
+
+def _session_index(index_eps: float) -> GridIndex:
+    """Worker-local index for ``index_eps``, LRU-cached across tasks.
+
+    Mirrors the parent session's per-ε cache: a warm pool queried at a new ε
+    (a radius-doubling round, a sweep step) rebuilds the index locally once
+    and then serves every later shard of any query at that ε from cache.
+    """
+    cache: OrderedDict = _SESSION_WORKER["indexes"]
+    key = float(index_eps)
+    index = cache.get(key)
+    if index is None:
+        index = GridIndex.build(_SESSION_WORKER["points"], key)
+        cache[key] = index
+        while len(cache) > WORKER_INDEX_CACHE_SIZE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return index
+
+
+def _run_session_selfjoin(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
+    """Persistent-pool task: self-join one cell shard of the session dataset."""
+    index_eps, cells, eps, unicomp, max_candidate_pairs = task
+    index = _session_index(index_eps)
+    sink = PairFragments(index.num_points)
+    stats = get_backend(_SESSION_WORKER["inner"]).run_selfjoin(
+        index, eps, cells, sink, unicomp=unicomp,
+        max_candidate_pairs=int(max_candidate_pairs))
+    keys, values = sink.concatenated()
+    return keys, values, stats
+
+
+def _run_session_probe(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
+    """Persistent-pool task: probe one row group against the session dataset.
+
+    ``queries is None`` means the probe side *is* the session dataset (the
+    self-kNN / range-over-self case): it resolves to the shared view and
+    ``rows`` are global row indices, so the probe points never travel
+    through a pickle.  An *external* query set arrives as just this task's
+    row-group slice (``rows is None``) — the emitted keys are then local to
+    the slice and the parent re-bases them onto the global rows, so each
+    query row is pickled exactly once per query, not once per task.
+    """
+    index_eps, rows, eps, num_rows, queries, max_candidate_pairs = task
+    index = _session_index(index_eps)
+    if queries is None:
+        queries = _SESSION_WORKER["points"]
+    sink = PairFragments(num_rows)
+    stats = get_backend(_SESSION_WORKER["inner"]).run_probe(
+        queries, index, eps, sink, rows=rows,
+        max_candidate_pairs=int(max_candidate_pairs))
+    keys, values = sink.concatenated()
+    return keys, values, stats
+
+
+# --------------------------------------------------------------------------
+# parent-side pool state
+# --------------------------------------------------------------------------
+def _full_digest(points: np.ndarray) -> str:
+    """Full-content hash guarding idle-pool revival against mutation.
+
+    Computed when a pool is *parked* and re-checked when it would be
+    *revived* — the only moments a stale worker-side snapshot could slip
+    in — so the O(n) hashing cost is paid per park/revive, never per query.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(points).data)
+    return digest.hexdigest()
+
+
+@dataclass
+class _SessionPool:
+    """One persistent pool plus the dataset resources it holds."""
+
+    key: tuple
+    pool: multiprocessing.pool.Pool
+    n_workers: int
+    worker_pids: Tuple[int, ...]
+    #: The parent-side dataset while the pool is attached; released
+    #: (``None``) while parked idle so the pool does not pin the caller's
+    #: array — revival re-binds it from the attaching session, guarded by
+    #: ``content_digest``.
+    points: Optional[np.ndarray]
+    shm: Optional[object] = None  # parent-side SharedMemory (None: pickled)
+    attached: Set[int] = field(default_factory=set)  # session tokens
+    #: Full-content hash of ``points`` taken when the pool was parked idle.
+    content_digest: Optional[str] = None
+    #: The pool was revived from the idle list at least once — a previous
+    #: warm-keeping owner parked it, so even a ``keep_warm=False`` session
+    #: must re-park it on detach rather than destroy it.
+    revived: bool = False
+    #: Some attached session asked for warm-pool reuse; parking on the last
+    #: detach honors *any* attacher's preference, not just the last one's.
+    keep_warm_requested: bool = False
+
+
+@dataclass
+class MultiprocessStats:
+    """Lifecycle counters of one :class:`MultiprocessBackend` instance.
+
+    Exposed so tests can assert the acceptance properties directly: a warm
+    session query performs **no pool creation** (``pools_created`` stays
+    flat) and **no dataset re-shipping** (``datasets_shipped`` stays flat —
+    on the shared-memory path it never rises above zero, because the points
+    enter a segment once at attach and are mapped, not pickled).
+    """
+
+    pools_created: int = 0
+    pools_revived: int = 0
+    pools_shut_down: int = 0
+    #: Times the full dataset entered pool-initializer args (pickled under
+    #: ``spawn``, copied-on-write under ``fork``): one-shot calls and the
+    #: shared-memory fallback.  Zero on the zero-copy path.
+    datasets_shipped: int = 0
+    shm_segments_created: int = 0
+    shm_segments_released: int = 0
+    tasks_dispatched: int = 0
+
+
+def _shutdown_state(state: _SessionPool) -> bool:
+    """Terminate one pool and release its shared memory (idempotent).
+
+    Module-level so the backend's ``weakref.finalize`` safety net can run
+    it without holding (or needing) the backend itself.  Returns whether a
+    shared-memory segment was actually unlinked.
+    """
+    try:
+        state.pool.terminate()
+        state.pool.join()
+    except Exception:  # pragma: no cover - interpreter teardown races
+        pass
+    released = False
+    if state.shm is not None:
+        try:
+            state.shm.close()
+            state.shm.unlink()
+            released = True
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        state.shm = None
+    return released
+
+
+def _shutdown_states(active: Dict[tuple, _SessionPool],
+                     idle: "OrderedDict[tuple, _SessionPool]") -> None:
+    """Finalizer: tear down whatever pools a backend still owns.
+
+    Runs when the backend is garbage-collected *or* at interpreter exit
+    (``weakref.finalize`` covers both), so neither a dropped throwaway
+    backend nor a process-long one can orphan worker processes or
+    dataset-sized shared-memory segments — and the finalizer holds only the
+    state containers, never the backend, so pool-less backends stay
+    collectable.
+    """
+    for state in list(active.values()) + list(idle.values()):
+        _shutdown_state(state)
+    active.clear()
+    idle.clear()
+
+
 @register_backend
 class MultiprocessBackend(ExecutionBackend):
-    """Cost-balanced shards executed on a ``multiprocessing`` pool."""
+    """Cost-balanced shards executed on a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (``REPRO_PARALLEL_WORKERS`` / CPU count when omitted).
+    inner:
+        Backend executed per shard inside the workers.
+    n_shards:
+        Shard count (``n_workers * SHARDS_PER_WORKER`` when omitted).
+    start_method:
+        ``multiprocessing`` start method override.
+    max_idle:
+        How many detached session pools to keep warm for revival (LRU);
+        ``0`` shuts a pool down on the last detach.
+    use_shared_memory:
+        Ship session datasets through ``multiprocessing.shared_memory``
+        (zero-copy, O(1) worker memory); falls back to initializer pickling
+        when unavailable.
+    """
 
     name = "multiprocess"
     supports_cell_subset = True
@@ -100,13 +378,24 @@ class MultiprocessBackend(ExecutionBackend):
     def __init__(self, n_workers: Optional[int] = None,
                  inner: str = "vectorized",
                  n_shards: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 max_idle: int = 2,
+                 use_shared_memory: bool = True) -> None:
         if n_workers is not None and int(n_workers) < 1:
             raise ValueError("n_workers must be >= 1")
+        if int(max_idle) < 0:
+            raise ValueError("max_idle must be >= 0")
         self.n_workers = int(n_workers) if n_workers is not None else None
         self.inner_name = str(inner)
         self.n_shards = int(n_shards) if n_shards is not None else None
         self.start_method = start_method
+        self.max_idle = int(max_idle)
+        self.use_shared_memory = bool(use_shared_memory)
+        self.stats = MultiprocessStats()
+        self._active: Dict[tuple, _SessionPool] = {}
+        self._idle: "OrderedDict[tuple, _SessionPool]" = OrderedDict()
+        self._finalizer = weakref.finalize(self, _shutdown_states,
+                                           self._active, self._idle)
 
     @property
     def inner(self) -> ExecutionBackend:
@@ -128,31 +417,198 @@ class MultiprocessBackend(ExecutionBackend):
         method = self.start_method or os.environ.get(START_METHOD_ENV_VAR)
         return multiprocessing.get_context(method)
 
+    # ------------------------------------------------------ session lifecycle
+    @staticmethod
+    def _pool_key(session) -> tuple:
+        # The DatasetIdentity couples the array's object id with a sampled
+        # content fingerprint, guarding idle-pool revival against id reuse
+        # after the original array is freed.
+        return (session.identity,)
+
+    def attach(self, session) -> None:
+        """Create (or revive) the persistent pool for the session's dataset."""
+        key = self._pool_key(session)
+        state = self._active.get(key)
+        if state is None:
+            state = self._idle.pop(key, None)
+            if state is not None:
+                if _full_digest(session.points) != state.content_digest:
+                    # The array was mutated in place between sessions: the
+                    # workers' shared-memory snapshot (and their cached
+                    # indexes) are stale — joining them against freshly
+                    # planned shards would be silently wrong.
+                    self._shutdown_pool(state)
+                    state = None
+                else:
+                    state.revived = True
+                    state.points = session.points  # re-pin for the active span
+                    self.stats.pools_revived += 1
+                    self._active[key] = state
+        if state is None:
+            state = self._create_session_pool(key, session.points)
+            self._active[key] = state
+        state.attached.add(session.token)
+        if getattr(session, "keep_warm", True):
+            state.keep_warm_requested = True
+
+    def detach(self, session) -> None:
+        """Park the session's pool on the idle list (or shut it down).
+
+        A pool is parked when *any* of its attachers asked for warm reuse,
+        or when it was revived from the idle list (an earlier warm-keeping
+        owner parked it); a pool used only by opted-out ephemeral sessions
+        (``keep_warm=False`` — the one-shot wrappers) is released
+        immediately.  Parking drops the parent-side dataset reference: the
+        park-time content digest is what guards revival, so the caller's
+        array is free to be collected.
+        """
+        key = self._pool_key(session)
+        state = self._active.get(key)
+        if state is None:
+            return
+        state.attached.discard(session.token)
+        if state.attached:
+            return
+        del self._active[key]
+        if self.max_idle > 0 and (state.keep_warm_requested or state.revived):
+            state.content_digest = _full_digest(state.points)
+            state.points = None  # do not pin the dataset while idle
+            self._idle[key] = state
+            while len(self._idle) > self.max_idle:
+                _, evicted = self._idle.popitem(last=False)
+                self._shutdown_pool(evicted)
+        else:
+            self._shutdown_pool(state)
+
+    def shutdown(self) -> None:
+        """Terminate every pool (active and idle) and release their memory."""
+        for state in list(self._active.values()):
+            self._shutdown_pool(state)
+        self._active.clear()
+        for state in list(self._idle.values()):
+            self._shutdown_pool(state)
+        self._idle.clear()
+
+    def worker_pids(self, session) -> Tuple[int, ...]:
+        """PIDs of the persistent pool serving ``session`` (``()`` if none)."""
+        state = self._active.get(self._pool_key(session))
+        return state.worker_pids if state is not None else ()
+
+    def has_idle_pool_for(self, session) -> bool:
+        """Whether a detached pool for the session's dataset is kept warm."""
+        return self._pool_key(session) in self._idle
+
+    def _create_session_pool(self, key: tuple,
+                             points: np.ndarray) -> _SessionPool:
+        n_workers = self._resolved_workers()
+        ctx = self._context()
+        shm = None
+        if self.use_shared_memory and _shm is not None and points.nbytes > 0:
+            try:
+                shm = _shm.SharedMemory(create=True, size=points.nbytes)
+            except OSError:  # pragma: no cover - no /dev/shm etc.
+                shm = None
+            else:
+                view = np.ndarray(points.shape, dtype=points.dtype,
+                                  buffer=shm.buf)
+                view[:] = points
+                self.stats.shm_segments_created += 1
+        if shm is not None:
+            initargs = (shm.name, points.shape, str(points.dtype), None,
+                        self.inner_name)
+        else:
+            # Guarded fallback: the one-time initializer shipping of the
+            # original one-shot path (still once per worker, not per query).
+            initargs = (None, None, None, points, self.inner_name)
+            self.stats.datasets_shipped += 1
+        try:
+            pool = ctx.Pool(processes=n_workers,
+                            initializer=_init_session_worker,
+                            initargs=initargs)
+        except Exception:
+            # Pool creation failed (fork pressure, process limits): the
+            # dataset segment must not outlive this attempt.
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+                self.stats.shm_segments_released += 1
+            raise
+        self.stats.pools_created += 1
+        # Worker PIDs are recorded for pool-identity assertions in tests;
+        # Pool keeps its Process handles in the private ``_pool`` list (no
+        # public accessor exists).
+        pids = tuple(proc.pid for proc in pool._pool)
+        return _SessionPool(key=key, pool=pool, n_workers=n_workers,
+                            worker_pids=pids, points=points, shm=shm)
+
+    def _shutdown_pool(self, state: _SessionPool) -> None:
+        if _shutdown_state(state):
+            self.stats.shm_segments_released += 1
+        self.stats.pools_shut_down += 1
+
+    def _session_pool_for(self, points: np.ndarray) -> Optional[_SessionPool]:
+        """The attached pool whose dataset *is* ``points`` (identity match)."""
+        for state in self._active.values():
+            if state.points is points:
+                return state
+        return None
+
+    # ------------------------------------------------------------- operators
     def _run_pool(self, initargs, worker_fn, tasks, sink, n_workers: int,
                   ) -> KernelStats:
-        """Run ``tasks`` on a fresh pool, merge fragments into ``sink``."""
+        """One-shot path: run ``tasks`` on a fresh pool, merge into ``sink``."""
         stats = KernelStats()
         if not tasks:
             return stats
         n_workers = max(1, min(n_workers, len(tasks)))
         ctx = self._context()
+        self.stats.datasets_shipped += 1
+        self.stats.tasks_dispatched += len(tasks)
         with ctx.Pool(processes=n_workers, initializer=_init_worker,
                       initargs=initargs) as pool:
+            self.stats.pools_created += 1
             results = pool.map(worker_fn, tasks, chunksize=1)
+        self.stats.pools_shut_down += 1
         for keys, values, shard_stats in results:
             sink.emit(keys, values)
             stats.merge(shard_stats)
         return stats
 
-    # ------------------------------------------------------------- operators
+    def _run_session_tasks(self, state: _SessionPool, worker_fn, tasks,
+                           sink, key_maps=None) -> KernelStats:
+        """Persistent path: dispatch onto the warm pool, merge into ``sink``.
+
+        ``key_maps`` (aligned with ``tasks``) re-bases a task's locally
+        keyed result rows onto global row ids (``None`` entries emit as-is).
+        """
+        stats = KernelStats()
+        if not tasks:
+            return stats
+        self.stats.tasks_dispatched += len(tasks)
+        results = state.pool.map(worker_fn, tasks, chunksize=1)
+        for i, (keys, values, shard_stats) in enumerate(results):
+            if key_maps is not None and key_maps[i] is not None:
+                keys = key_maps[i][keys]
+            sink.emit(keys, values)
+            stats.merge(shard_stats)
+        return stats
+
     def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
                      max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
                      device=None, threads_per_block=256) -> KernelStats:
         n_workers = self._resolved_workers()
         plan = ShardPlanner(
             n_shards=self._resolved_shards(n_workers)).plan(index, cells)
-        tasks = [(shard, float(eps), bool(unicomp))
-                 for shard in plan.shards if shard.shape[0]]
+        shards = [shard for shard in plan.shards if shard.shape[0]]
+
+        state = self._session_pool_for(index.points)
+        if state is not None:
+            tasks = [(float(index.eps), shard, float(eps), bool(unicomp),
+                      int(max_candidate_pairs)) for shard in shards]
+            return self._run_session_tasks(state, _run_session_selfjoin,
+                                           tasks, sink)
+
+        tasks = [(shard, float(eps), bool(unicomp)) for shard in shards]
         initargs = (index.points, None, float(index.eps), self.inner_name,
                     int(max_candidate_pairs))
         return self._run_pool(initargs, _run_selfjoin_shard, tasks, sink,
@@ -165,9 +621,34 @@ class MultiprocessBackend(ExecutionBackend):
             return KernelStats()
         n_workers = self._resolved_workers()
         costs = estimate_probe_row_costs(queries[rows], index)
-        groups = split_by_cost(costs, self._resolved_shards(n_workers))
-        tasks = [(rows[group], float(eps), sink.num_rows)
-                 for group in groups if group.shape[0]]
+        groups = [rows[group]
+                  for group in split_by_cost(costs,
+                                             self._resolved_shards(n_workers))
+                  if group.shape[0]]
+
+        state = self._session_pool_for(index.points)
+        if state is not None:
+            if queries is index.points:
+                # The session dataset probing itself (self-kNN,
+                # range-over-self) resolves to the workers' shared view:
+                # nothing but the row ids travels.
+                tasks = [(float(index.eps), group, float(eps), sink.num_rows,
+                          None, int(max_candidate_pairs)) for group in groups]
+                key_maps = None
+            else:
+                # External query set: ship each task only its own row-group
+                # slice (each query row pickled once per query, not once per
+                # task); workers emit slice-local keys that are re-based
+                # onto the global rows here.
+                queries_arr = np.asarray(queries, dtype=np.float64)
+                tasks = [(float(index.eps), None, float(eps), sink.num_rows,
+                          queries_arr[group],
+                          int(max_candidate_pairs)) for group in groups]
+                key_maps = groups
+            return self._run_session_tasks(state, _run_session_probe,
+                                           tasks, sink, key_maps=key_maps)
+
+        tasks = [(group, float(eps), sink.num_rows) for group in groups]
         initargs = (index.points, np.asarray(queries, dtype=np.float64),
                     float(index.eps), self.inner_name,
                     int(max_candidate_pairs))

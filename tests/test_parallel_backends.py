@@ -172,6 +172,21 @@ class TestRegistry:
         assert status["sharded"] is None
         assert status["multiprocess"] is None
 
+    def test_cupy_stub_listed_with_missing_dep_message(self):
+        # The planned real-GPU backend is pre-registered lazily: it must be
+        # *listed* everywhere, and where CuPy is absent the availability
+        # report must name the missing dependency instead of an
+        # unknown-backend KeyError.
+        assert "cupy" in list_backends()
+        status = backend_availability()
+        if status["cupy"] is None:  # host actually has CuPy: must construct
+            assert get_backend("cupy") is not None
+        else:
+            assert "cupy" in status["cupy"]
+            assert "cupy" not in available_backends()
+            with pytest.raises(BackendUnavailableError, match="cupy"):
+                get_backend("cupy")
+
     def test_unavailable_dependency_reports_clearly(self):
         register_lazy_backend("needscupy", "repro_no_such_module_xyz",
                               requires="cupy")
