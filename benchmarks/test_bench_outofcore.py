@@ -1,0 +1,47 @@
+"""Benchmark: out-of-core dataset layer — peak RSS vs dataset size.
+
+Runs the same self-join per dataset size twice in fresh subprocesses — the
+in-memory pipeline over an array, and the disk-streamed ``sharded``
+pipeline over a :class:`~repro.data.store.SpatialStore` — recording each
+run's ``ru_maxrss`` and an order-independent digest of its result pairs.
+The rendered table is persisted to ``benchmarks/reports/outofcore.txt``;
+equal digests per size certify the streamed join reproduced the in-memory
+pair set bit-identically.
+
+At benchmark scale the interpreter baseline (numpy import, ~40 MB)
+dominates both RSS columns, so no absolute RSS ordering is asserted here —
+the memory-bound proof lives in ``tests/test_outofcore.py``, which runs the
+streamed join under a ``resource.RLIMIT_AS`` cap smaller than the dataset.
+This benchmark asserts result parity and records the growth trend.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.outofcore import format_outofcore, run_outofcore
+from benchmarks.conftest import bench_points
+
+
+def test_bench_outofcore(benchmark, write_report):
+    largest = bench_points(60_000)
+    sizes = tuple(sorted({max(5_000, largest // 3), largest}))
+
+    def run():
+        return run_outofcore(sizes=sizes)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("outofcore", format_outofcore(rows))
+
+    by_size = {}
+    for row in rows:
+        by_size.setdefault(row.n_points, []).append(row)
+    benchmark.extra_info["peak_rss_mb"] = {
+        f"{row.source}@{row.n_points}": row.peak_rss_mb for row in rows}
+
+    for size, pair in by_size.items():
+        assert len(pair) == 2, pair
+        array_row, store_row = pair
+        # The streamed join must reproduce the in-memory pair multiset
+        # bit-identically (same count, same order-independent digest).
+        assert array_row.num_pairs == store_row.num_pairs > 0, (size, pair)
+        assert array_row.digest == store_row.digest, (size, pair)
+        assert array_row.peak_rss_mb > 0 and store_row.peak_rss_mb > 0

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """k-nearest-neighbor search on the grid index (the paper's future-work item).
 
-Builds the grid index over a clustered dataset and answers exact kNN queries
-with the expanding-ring search of :mod:`repro.apps.knn`, cross-checking the
-distances against scipy's KD-tree.
+Opens one :class:`EngineSession` over a clustered dataset and answers exact
+kNN queries through it — the expanding-ring search of
+:mod:`repro.apps.knn` resolves every radius-doubling round through the
+session's per-ε index cache, so repeated searches (a second batch of
+queries, a different k) stop paying index construction.  Results are
+cross-checked against scipy's KD-tree.
 
 Run with:  python examples/knn_search_demo.py
 """
@@ -17,6 +20,7 @@ from scipy.spatial import cKDTree
 
 from repro.apps import knn_search
 from repro.data import gaussian_clusters
+from repro.engine import EngineSession
 
 
 def main() -> None:
@@ -25,9 +29,17 @@ def main() -> None:
     k = 5
     queries = points[:500]
 
-    start = time.perf_counter()
-    result = knn_search(points, k=k, queries=queries)
-    grid_time = time.perf_counter() - start
+    with EngineSession(points) as session:
+        start = time.perf_counter()
+        result = knn_search(None, k=k, queries=queries, session=session)
+        first = time.perf_counter() - start
+
+        # A repeated search hits the session's cached per-ε indexes — this
+        # is the repeated-query shape the session lifecycle exists for.
+        start = time.perf_counter()
+        knn_search(None, k=k, queries=queries, session=session)
+        repeat = time.perf_counter() - start
+        misses, hits = (session.stats.index_misses, session.stats.index_hits)
 
     tree = cKDTree(points)
     start = time.perf_counter()
@@ -35,9 +47,13 @@ def main() -> None:
     kd_time = time.perf_counter() - start
 
     max_err = float(np.max(np.abs(np.sort(result.distances, axis=1) - ref_dist)))
-    print(f"dataset: {points.shape[0]} points in 3-D, {queries.shape[0]} queries, k={k}")
-    print(f"grid kNN time   : {grid_time * 1e3:.1f} ms")
-    print(f"cKDTree time    : {kd_time * 1e3:.1f} ms (reference)")
+    print(f"dataset: {points.shape[0]} points in 3-D, "
+          f"{queries.shape[0]} queries, k={k}")
+    print(f"grid kNN, first search : {first * 1e3:6.1f} ms "
+          f"(builds per-radius indexes)")
+    print(f"grid kNN, repeated     : {repeat * 1e3:6.1f} ms "
+          f"(session cache: {hits} hits, {misses} misses)")
+    print(f"cKDTree time           : {kd_time * 1e3:6.1f} ms (reference)")
     print(f"max |distance difference| vs reference: {max_err:.2e}")
     mean_radius = float(result.distances[:, -1].mean())
     print(f"mean k-th neighbor distance: {mean_radius:.3f}")

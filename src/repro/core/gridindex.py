@@ -261,6 +261,44 @@ class GridIndex:
                 f"mask for dimension {j} is inconsistent"
 
 
+@dataclass
+class SubsetIndex:
+    """A grid index over a slice of a larger dataset, with an id remap.
+
+    Out-of-core execution builds indexes over *slices* of the dataset (one
+    shard's points plus their ε-halo, read from a
+    :class:`~repro.data.store.SpatialStore`); the slice has its own local
+    row space ``0..n_local-1``, while results must be emitted in the global
+    point ids of the full dataset.  ``SubsetIndex`` pairs the local
+    :class:`GridIndex` with that remap: kernels run against :attr:`index`
+    exactly as they would against a full index, and the emitted local ids
+    are translated through :meth:`to_global`.
+
+    The same pairing serves the ``multiprocess`` workers that map a store's
+    B-ordered file directly: there the "slice" is the whole file in stored
+    order and ``global_ids`` is the store's original-row-id directory.
+    """
+
+    index: GridIndex
+    global_ids: np.ndarray
+
+    @classmethod
+    def build(cls, points: np.ndarray, global_ids: np.ndarray,
+              eps: float) -> "SubsetIndex":
+        """Index ``points`` (a slice) whose global ids are ``global_ids``."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        index = GridIndex.build(points, eps)
+        if global_ids.shape[0] != index.num_points:
+            raise ValueError(
+                f"global_ids has {global_ids.shape[0]} entries for "
+                f"{index.num_points} indexed points")
+        return cls(index=index, global_ids=global_ids)
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Translate local row ids of the slice to global point ids."""
+        return self.global_ids[np.asarray(local_ids, dtype=np.int64)]
+
+
 def _run_length_encode(sorted_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """RLE of a sorted id array -> (unique ids, start offsets, counts)."""
     if sorted_ids.shape[0] == 0:

@@ -281,6 +281,15 @@ class PairFragments:
         self._val_parts.extend(other._val_parts)
         self._num_pairs += other._num_pairs
 
+    def parts(self) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate the emitted ``(keys, values)`` fragments in place.
+
+        Lets bounded-memory consumers (the out-of-core result digest, for
+        one) walk the pairs without the O(num_pairs) concatenation copy of
+        :meth:`concatenated`.
+        """
+        return zip(self._key_parts, self._val_parts)
+
     def concatenated(self) -> Tuple[np.ndarray, np.ndarray]:
         """Flat ``(keys, values)`` arrays (single concatenation, no sort)."""
         if not self._key_parts:

@@ -1,4 +1,11 @@
-"""Dataset substrate: synthetic generators, real-world surrogates and the Table I registry."""
+"""Dataset substrate: generators, the Table I registry, and dataset sources.
+
+Besides the synthetic/real-world generators, this package owns the
+:class:`~repro.data.store.DatasetSource` seam — in-memory
+:class:`~repro.data.store.ArraySource` and the on-disk, grid-ordered
+:class:`~repro.data.store.SpatialStore` the out-of-core execution streams
+from.
+"""
 
 from repro.data.synthetic import (
     exponential_dataset,
@@ -9,8 +16,22 @@ from repro.data.synthetic import (
 from repro.data.realworld import sdss_dataset, sw_dataset
 from repro.data.datasets import DatasetSpec, DATASETS, load_dataset, list_datasets
 from repro.data.normalize import normalize_minmax, denormalize_minmax
+from repro.data.store import (
+    ArraySource,
+    DatasetIdentity,
+    DatasetSource,
+    SpatialStore,
+    as_dataset_source,
+    dataset_identity,
+)
 
 __all__ = [
+    "ArraySource",
+    "DatasetIdentity",
+    "DatasetSource",
+    "SpatialStore",
+    "as_dataset_source",
+    "dataset_identity",
     "uniform_dataset",
     "gaussian_clusters",
     "exponential_dataset",

@@ -90,6 +90,11 @@ class ExecutionBackend(abc.ABC):
     #: pools); the planner then skips the device-model batch split, which
     #: would otherwise multiply the decomposition overhead per batch.
     owns_decomposition: bool = False
+    #: The backend implements :meth:`run_selfjoin_streamed` — it can join a
+    #: streamable :class:`~repro.data.store.DatasetSource` (an on-disk
+    #: :class:`~repro.data.store.SpatialStore`) slice-at-a-time without the
+    #: planner ever materializing the dataset or a global grid index.
+    supports_streaming: bool = False
 
     # ------------------------------------------------------ session lifecycle
     def attach(self, session) -> None:
@@ -129,6 +134,24 @@ class ExecutionBackend(abc.ABC):
         Correct only for ``eps <= index.eps`` (the adjacent-cell walk is
         bounded to one cell layer, as everywhere in the paper).
         """
+
+    def run_selfjoin_streamed(self, source, eps: float, sink: PairFragments, *,
+                              unicomp: bool = False,
+                              max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                              ) -> KernelStats:
+        """Self-join a streamable on-disk source shard-at-a-time.
+
+        Only backends with ``supports_streaming = True`` implement this
+        (the planner never routes a streamed plan elsewhere); the default
+        fails fast so a direct caller gets a clear error instead of a
+        silently materialized dataset.  Emitted pair ids are the source's
+        *original* row ids, so streamed results are interchangeable with
+        in-memory ones.
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} backend cannot stream an on-disk dataset "
+            "(supports_streaming=False); materialize it with "
+            "source.as_array() or use the 'sharded' backend")
 
 
 class BackendUnavailableError(KeyError):

@@ -149,6 +149,16 @@ def _run_batched_merge(plan: QueryPlan, report_plan: BatchPlan, run_batch,
 
 
 def _execute_self_join(plan: QueryPlan) -> EngineResult:
+    if plan.index is None:
+        # Streamed plan: the backend reads the on-disk source shard-by-shard
+        # (slice + ε-halo), indexes each slice locally and emits global ids —
+        # nothing dataset-sized is ever resident here.
+        master = PairFragments(plan.num_rows)
+        stats = plan.backend.run_selfjoin_streamed(
+            plan.source, plan.eps, master, unicomp=plan.unicomp,
+            max_candidate_pairs=plan.max_candidate_pairs)
+        return EngineResult(plan=plan, stats=stats, fragments=master)
+
     index = plan.index
     master = PairFragments(index.num_points)
     stats = KernelStats()

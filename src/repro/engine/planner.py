@@ -44,6 +44,7 @@ from repro.utils.timing import Timer
 from repro.utils.validation import check_points
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session → planner)
+    from repro.data.store import DatasetSource
     from repro.engine.session import EngineSession
 
 
@@ -53,7 +54,10 @@ class QueryPlan:
 
     query: Q.Query
     backend: ExecutionBackend
-    index: GridIndex
+    #: Global grid index over the indexed side — ``None`` for a *streamed*
+    #: plan, where the backend joins ``source`` slice-at-a-time and a
+    #: global index is never built (it would materialize the dataset).
+    index: Optional[GridIndex]
     #: Probe-side points (``None`` for self-joins).
     probe_points: Optional[np.ndarray]
     #: True when a bipartite join indexed the left side; emitted pairs are
@@ -76,6 +80,9 @@ class QueryPlan:
     #: was produced through one; the executor resolves index rebuilds (the
     #: kNN radius-doubling loop) through its cache instead of reconstructing.
     session: Optional["EngineSession"] = None
+    #: The dataset source of a streamed self-join (``index`` is ``None``);
+    #: the executor hands it to ``backend.run_selfjoin_streamed``.
+    source: Optional["DatasetSource"] = None
 
     @property
     def num_rows(self) -> int:
@@ -159,7 +166,38 @@ class QueryPlanner:
 
     def _plan_self_join(self, query: Q.Query, index: Optional[GridIndex],
                         session: Optional["EngineSession"]) -> QueryPlan:
-        points = check_points(query.points, max_dims=self.max_dims)
+        if query.source is not None and self.max_dims is not None \
+                and query.source.n_dims > self.max_dims:
+            # Mirror check_points(max_dims=...) for source-backed joins,
+            # which skip the array-validation path.
+            raise ValueError(
+                f"points have {query.source.n_dims} dimensions; this "
+                f"operation supports at most {self.max_dims} (the paper "
+                "targets low dimensionality)")
+        if query.source is not None and index is None \
+                and self.backend.supports_streaming \
+                and query.source.supports_streaming:
+            # Streamed plan: no global index, no materialization — the
+            # backend reads the source shard-by-shard (slice + ε-halo) and
+            # builds shard-local indexes itself.
+            return QueryPlan(query=query, backend=self.backend, index=None,
+                             probe_points=None, swapped=False,
+                             unicomp=self._resolve_unicomp(query),
+                             eps=float(query.eps), batch_plan=None,
+                             probe_batches=None, device=self.device,
+                             max_candidate_pairs=self.max_candidate_pairs,
+                             n_streams=self.n_streams,
+                             threads_per_block=self.threads_per_block,
+                             index_build_time=0.0, session=session,
+                             source=query.source)
+        if query.source is not None:
+            # Non-streaming backend over a source: materialize once (the
+            # session's lazy ``points`` keeps one shared materialization).
+            points = session.points if session is not None \
+                else check_points(query.source.as_array(),
+                                  max_dims=self.max_dims)
+        else:
+            points = check_points(query.points, max_dims=self.max_dims)
         build_time = 0.0
         if index is None:
             if session is not None:
@@ -192,7 +230,8 @@ class QueryPlanner:
                          max_candidate_pairs=self.max_candidate_pairs,
                          n_streams=self.n_streams,
                          threads_per_block=self.threads_per_block,
-                         index_build_time=build_time, session=session)
+                         index_build_time=build_time, session=session,
+                         source=query.source)
 
     def _plan_probe(self, query: Q.Query, index: Optional[GridIndex],
                     session: Optional["EngineSession"]) -> QueryPlan:

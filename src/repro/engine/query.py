@@ -12,11 +12,12 @@ batch decomposition, UNICOMP eligibility, backend) is decided by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.data.store import DatasetSource
 from repro.utils.validation import check_eps, ensure_2d_float64
 
 #: The query kinds the engine understands.
@@ -37,7 +38,15 @@ class Query:
     kind:
         One of :data:`QUERY_KINDS`.
     points:
-        The indexed ("right" / data) point set.
+        The indexed ("right" / data) point set; ``None`` for a self-join
+        described by a :class:`~repro.data.store.DatasetSource` (see
+        ``source``), where the planner decides whether the source is
+        streamed or materialized.
+    source:
+        The indexed side as a :class:`~repro.data.store.DatasetSource`
+        (self-joins only).  A streaming-capable backend joins it
+        slice-at-a-time without materializing; any other backend
+        materializes ``source.as_array()`` at planning time.
     queries:
         The probe ("left" / query) point set; ``None`` for self-joins and for
         all-kNN over ``points`` itself.
@@ -58,7 +67,7 @@ class Query:
     """
 
     kind: str
-    points: np.ndarray
+    points: Optional[np.ndarray]
     queries: Optional[np.ndarray] = None
     eps: Optional[float] = None
     k: Optional[int] = None
@@ -66,17 +75,32 @@ class Query:
     include_self: bool = True
     sort_result: bool = False
     batching: bool = True
+    source: Optional[DatasetSource] = None
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
             raise ValueError(f"kind must be one of {QUERY_KINDS}, got {self.kind!r}")
+        if self.points is None and self.source is None:
+            raise ValueError("a query needs an indexed side: points or source")
 
     # ------------------------------------------------------------ constructors
     @classmethod
-    def self_join(cls, points: np.ndarray, eps: float, *, unicomp: bool = True,
+    def self_join(cls, points: Union[np.ndarray, DatasetSource], eps: float, *,
+                  unicomp: bool = True,
                   include_self: bool = True, sort_result: bool = False,
                   batching: bool = True) -> "Query":
-        """All pairs ``(p, q)`` of one dataset with ``dist(p, q) <= eps``."""
+        """All pairs ``(p, q)`` of one dataset with ``dist(p, q) <= eps``.
+
+        ``points`` may be a raw array or a
+        :class:`~repro.data.store.DatasetSource` (e.g. an on-disk
+        :class:`~repro.data.store.SpatialStore`, which streaming-capable
+        backends join without materializing).
+        """
+        if isinstance(points, DatasetSource):
+            return cls(kind=SELF_JOIN, points=None, source=points,
+                       eps=check_eps(eps), unicomp=unicomp,
+                       include_self=include_self, sort_result=sort_result,
+                       batching=batching)
         return cls(kind=SELF_JOIN, points=ensure_2d_float64(points),
                    eps=check_eps(eps), unicomp=unicomp,
                    include_self=include_self, sort_result=sort_result,
@@ -136,5 +160,8 @@ class Query:
     @property
     def num_rows(self) -> int:
         """Number of CSR result rows (query-side cardinality)."""
-        side = self.points if self.queries is None else self.queries
-        return int(side.shape[0])
+        if self.queries is not None:
+            return int(self.queries.shape[0])
+        if self.points is not None:
+            return int(self.points.shape[0])
+        return self.source.n_points

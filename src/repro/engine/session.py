@@ -30,6 +30,12 @@ selfjoin`) for single queries — several of them are themselves thin
 ``with EngineSession(...)`` wrappers now, so both paths produce
 bit-identical results.
 
+The session owns its dataset as a :class:`~repro.data.store.DatasetSource`
+(raw arrays auto-wrap; an on-disk
+:class:`~repro.data.store.SpatialStore` stays on disk — self-joins on a
+streaming backend like ``sharded`` read it shard-at-a-time and the lazy
+:attr:`EngineSession.points` materialization is never touched).
+
 The session's dataset is normalized once (:func:`~repro.utils.validation.
 check_points`) and must not be mutated while the session is open: cached
 indexes — and, for attached backends, worker-side copies or shared-memory
@@ -40,7 +46,6 @@ was parked, so a stale snapshot is discarded rather than revived.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,47 +54,21 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.core.gridindex import GridIndex
+from repro.data.store import (  # noqa: F401  (re-exported for compatibility)
+    DatasetIdentity,
+    DatasetSource,
+    as_dataset_source,
+    dataset_identity,
+)
 from repro.engine.backends import ExecutionBackend
 from repro.engine.executor import EngineResult, execute
 from repro.engine.planner import QueryPlanner
 from repro.engine.query import Query
-from repro.utils.validation import check_eps, check_points
+from repro.utils.validation import check_eps
 
 #: Monotonic token source distinguishing session instances (two sessions
 #: over the same array share a dataset identity but not a token).
 _SESSION_TOKENS = itertools.count()
-
-#: Rows sampled (evenly strided) into the dataset fingerprint.
-_FINGERPRINT_SAMPLE_ROWS = 256
-
-
-@dataclass(frozen=True)
-class DatasetIdentity:
-    """Identity of a session's dataset, usable as a pool/cache key.
-
-    ``array_id`` is the CPython object id of the normalized points array —
-    stable while the session holds its reference, but reusable after the
-    array is freed; the sampled content ``fingerprint`` guards cached
-    per-dataset resources (idle worker pools holding old shared-memory
-    copies) against such id reuse.
-    """
-
-    array_id: int
-    shape: Tuple[int, ...]
-    dtype: str
-    fingerprint: str
-
-
-def dataset_identity(points: np.ndarray) -> DatasetIdentity:
-    """Compute the :class:`DatasetIdentity` of a normalized points array."""
-    n = points.shape[0]
-    step = max(1, n // _FINGERPRINT_SAMPLE_ROWS)
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(np.ascontiguousarray(points[::step]).tobytes())
-    digest.update(np.asarray(points.shape, dtype=np.int64).tobytes())
-    return DatasetIdentity(array_id=id(points), shape=tuple(points.shape),
-                           dtype=str(points.dtype),
-                           fingerprint=digest.hexdigest())
 
 
 @dataclass
@@ -107,8 +86,12 @@ class EngineSession:
     Parameters
     ----------
     points:
-        The dataset (normalized once; the session dataset is the *indexed*
-        side of every query it runs).
+        The dataset — a raw array (normalized once) or a
+        :class:`~repro.data.store.DatasetSource` (an on-disk
+        :class:`~repro.data.store.SpatialStore` stays on disk: self-joins
+        on a streaming backend never materialize it, and other paths
+        materialize lazily on first use).  The session dataset is the
+        *indexed* side of every query it runs.
     backend:
         Backend name (``"multiprocess(4)"`` style parameterization works) or
         a constructed :class:`~repro.engine.backends.ExecutionBackend`
@@ -128,7 +111,7 @@ class EngineSession:
         shared memory or dataset reference behind.
     """
 
-    def __init__(self, points: np.ndarray,
+    def __init__(self, points: Union[np.ndarray, DatasetSource],
                  backend: Union[str, ExecutionBackend, None] = None, *,
                  planner: Optional[QueryPlanner] = None,
                  max_cached_indexes: int = 8,
@@ -137,17 +120,42 @@ class EngineSession:
         if planner is not None and (backend is not None or planner_kwargs):
             raise ValueError("pass either a planner instance or a backend/"
                              "planner kwargs, not both")
-        self.points = check_points(points)
+        self.source = as_dataset_source(points)
+        self._points: Optional[np.ndarray] = None
         self.planner = planner or QueryPlanner(
             backend=backend if backend is not None else "vectorized",
             **planner_kwargs)
         self.max_cached_indexes = int(max_cached_indexes)
         self.keep_warm = bool(keep_warm)
-        self.identity = dataset_identity(self.points)
+        self.identity = self.source.identity()
         self.token = next(_SESSION_TOKENS)
         self.stats = SessionStats()
         self._indexes = OrderedDict()
         self._open = False
+
+    @property
+    def points(self) -> np.ndarray:
+        """The session dataset as an array, materialized lazily.
+
+        For an :class:`~repro.data.store.ArraySource` this is the normalized
+        input array (free).  For an on-disk source the first access
+        materializes the dataset in original row order — streamed self-joins
+        never touch this property, which is what keeps them out-of-core.
+        """
+        if self._points is None:
+            self._points = self.source.as_array()
+        return self._points
+
+    @property
+    def streams_self_joins(self) -> bool:
+        """Whether this session's self-joins stream from disk.
+
+        True exactly when the source can serve bounded slices (an on-disk
+        :class:`~repro.data.store.SpatialStore`) *and* the backend
+        implements the streamed operator (``sharded``).
+        """
+        return bool(self.backend.supports_streaming
+                    and self.source.supports_streaming)
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -224,13 +232,17 @@ class EngineSession:
 
         Session query constructors guarantee this; callers building a
         :class:`Query` by hand must pass ``session.points`` (the normalized
-        array) as the query's ``points``.
+        array) or ``session.source`` as the query's indexed side.
         """
-        if query.points is not self.points:
-            raise ValueError(
-                "the query's indexed side is not this session's dataset; "
-                "build the query from session.points (the session-normalized "
-                "array) or use the session's query methods")
+        if query.source is not None:
+            if query.source is self.source:
+                return
+        elif query.points is self.points:
+            return
+        raise ValueError(
+            "the query's indexed side is not this session's dataset; "
+            "build the query from session.points (the session-normalized "
+            "array) / session.source or use the session's query methods")
 
     def resolve_points(self, points: Optional[np.ndarray]) -> np.ndarray:
         """Resolve a consumer's ``points`` argument to the session dataset.
@@ -258,9 +270,15 @@ class EngineSession:
     def self_join(self, eps: float, *, unicomp: bool = True,
                   include_self: bool = True, sort_result: bool = False,
                   batching: bool = True) -> EngineResult:
-        """Self-join of the session dataset within ``eps``."""
+        """Self-join of the session dataset within ``eps``.
+
+        On a streaming-capable backend over an on-disk source this executes
+        shard-at-a-time from disk (see :attr:`streams_self_joins`) and never
+        materializes the dataset; results are identical either way.
+        """
+        indexed = self.source if self.streams_self_joins else self.points
         return self.run(Query.self_join(
-            self.points, eps, unicomp=unicomp, include_self=include_self,
+            indexed, eps, unicomp=unicomp, include_self=include_self,
             sort_result=sort_result, batching=batching))
 
     def bipartite_join(self, left: np.ndarray, eps: float, *,

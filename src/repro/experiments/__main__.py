@@ -71,6 +71,12 @@ def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> Dict[str, Any]:
         if args.algorithms:
             kwargs["backends"] = args.algorithms
         return kwargs
+    if experiment_id == "outofcore":
+        if args.points is not None:
+            kwargs["n_points"] = args.points
+        if args.seed:
+            kwargs["seed"] = args.seed
+        return kwargs
     if experiment_id == "scaling":
         if args.points is not None:
             kwargs["n_points"] = args.points

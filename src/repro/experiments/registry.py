@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
 from repro.experiments import (engine_compare, fig1, fig4, fig5, fig6, fig7,
-                               fig8, fig9, scaling, table1, table2)
+                               fig8, fig9, outofcore, scaling, table1, table2)
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "scaling": Experiment("scaling", "Parallel subsystem: multiprocess "
                           "self-join speedup vs worker count",
                           scaling.run_scaling, scaling.format_scaling),
+    "outofcore": Experiment("outofcore", "Out-of-core dataset layer: peak "
+                            "RSS vs dataset size, in-memory array vs "
+                            "disk-streamed SpatialStore",
+                            outofcore.run_outofcore,
+                            outofcore.format_outofcore),
 }
 
 

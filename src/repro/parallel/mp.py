@@ -31,6 +31,15 @@ re-shipping**.  :meth:`detach` parks the pool on an LRU idle list
 it; evicted or shut-down pools release their shared memory, and an
 ``atexit`` hook tears down whatever is still alive at interpreter exit.
 
+When the session's dataset is an **on-disk source** (a
+:class:`~repro.data.store.SpatialStore`), no shared-memory copy is created
+at all: each worker memory-maps the store's B-ordered ``points.npy``
+directly (page cache shared between workers for free) and indexes the
+stored row order, translating emitted ids back to original dataset ids
+through the store's ``ids`` directory — so results are identical to the
+in-memory path while the only per-worker dataset cost is the O(n) index
+arrays, never a second copy of the points.
+
 Registered as ``multiprocess``; parameterized lookups configure it:
 ``multiprocess(4)`` uses four workers, ``multiprocess(2, cellwise)`` runs
 the cellwise reference kernels in two workers.
@@ -176,14 +185,28 @@ def _attach_shared_view(name: str, shape: Tuple[int, ...],
 
 def _init_session_worker(shm_name: Optional[str], shape, dtype,
                          pickled_points: Optional[np.ndarray],
-                         inner: str) -> None:
-    """Persistent-pool initializer: map (or receive) the dataset once."""
-    if shm_name is not None:
+                         inner: str, store_path: Optional[str] = None) -> None:
+    """Persistent-pool initializer: map (or receive) the dataset once.
+
+    Three dataset transports, in order of preference: an on-disk store
+    (``store_path`` — the worker memory-maps the B-ordered file and keeps
+    the original-id directory for result translation), a shared-memory
+    segment (``shm_name``), or the pickled-initargs fallback.
+    """
+    ids = None
+    if store_path is not None:
+        from repro.data.store import SpatialStore
+
+        store = SpatialStore.open(store_path)
+        points = store.stored_points()  # read-only memmap, stored (B) order
+        ids = store.stored_ids()
+    elif shm_name is not None:
         shm, points = _attach_shared_view(shm_name, shape, dtype)
         _SESSION_WORKER["shm"] = shm  # keep the mapping alive
     else:
         points = pickled_points
     _SESSION_WORKER["points"] = points
+    _SESSION_WORKER["ids"] = ids
     _SESSION_WORKER["indexes"] = OrderedDict()
     _SESSION_WORKER["inner"] = inner
 
@@ -209,7 +232,14 @@ def _session_index(index_eps: float) -> GridIndex:
 
 
 def _run_session_selfjoin(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
-    """Persistent-pool task: self-join one cell shard of the session dataset."""
+    """Persistent-pool task: self-join one cell shard of the session dataset.
+
+    A store-backed worker indexes the *stored* (B-order) rows; the grid —
+    and therefore the shard cell numbering — is identical to the parent's
+    original-order index (same point set, same ε), but emitted ids are
+    stored-row positions and are translated back to original dataset ids
+    through the store's id directory before returning.
+    """
     index_eps, cells, eps, unicomp, max_candidate_pairs = task
     index = _session_index(index_eps)
     sink = PairFragments(index.num_points)
@@ -217,6 +247,9 @@ def _run_session_selfjoin(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
         index, eps, cells, sink, unicomp=unicomp,
         max_candidate_pairs=int(max_candidate_pairs))
     keys, values = sink.concatenated()
+    ids = _SESSION_WORKER["ids"]
+    if ids is not None:
+        keys, values = np.asarray(ids)[keys], np.asarray(ids)[values]
     return keys, values, stats
 
 
@@ -240,6 +273,13 @@ def _run_session_probe(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
         queries, index, eps, sink, rows=rows,
         max_candidate_pairs=int(max_candidate_pairs))
     keys, values = sink.concatenated()
+    ids = _SESSION_WORKER["ids"]
+    if ids is not None:
+        # Store-backed worker: the index side is in stored (B) order, so
+        # the *values* translate through the id directory.  The keys are
+        # probe-slice rows (store sessions always ship probe slices) and
+        # are re-based by the parent.
+        values = np.asarray(ids)[values]
     return keys, values, stats
 
 
@@ -272,6 +312,10 @@ class _SessionPool:
     #: ``content_digest``.
     points: Optional[np.ndarray]
     shm: Optional[object] = None  # parent-side SharedMemory (None: pickled)
+    #: Path of the on-disk store the workers mapped (None: shm/pickle
+    #: transport).  Store-backed pools index stored row order in the
+    #: workers, so probes always ship probe slices (see ``run_probe``).
+    store_path: Optional[str] = None
     attached: Set[int] = field(default_factory=set)  # session tokens
     #: Full-content hash of ``points`` taken when the pool was parked idle.
     content_digest: Optional[str] = None
@@ -302,6 +346,9 @@ class MultiprocessStats:
     #: ``spawn``, copied-on-write under ``fork``): one-shot calls and the
     #: shared-memory fallback.  Zero on the zero-copy path.
     datasets_shipped: int = 0
+    #: Times a pool's workers memory-mapped an on-disk store instead of
+    #: receiving a shared-memory (or pickled) copy of the points.
+    datasets_mapped: int = 0
     shm_segments_created: int = 0
     shm_segments_released: int = 0
     tasks_dispatched: int = 0
@@ -368,7 +415,15 @@ class MultiprocessBackend(ExecutionBackend):
     use_shared_memory:
         Ship session datasets through ``multiprocessing.shared_memory``
         (zero-copy, O(1) worker memory); falls back to initializer pickling
-        when unavailable.
+        when unavailable.  On-disk sources skip shared memory entirely —
+        workers map the store file instead.
+    seed:
+        RNG seed for the sampled cost estimates behind the shard and
+        probe-row decompositions, so plans are reproducible from one knob:
+        ``MultiprocessBackend(seed=11)``, or positionally in a registry
+        spec — ``multiprocess(4, vectorized, 8, fork, 2, 1, 11)`` (specs
+        cannot skip defaulted positions, so every earlier argument must be
+        spelled out; ``1``/``0`` stand in for the booleans).
     """
 
     name = "multiprocess"
@@ -380,7 +435,8 @@ class MultiprocessBackend(ExecutionBackend):
                  n_shards: Optional[int] = None,
                  start_method: Optional[str] = None,
                  max_idle: int = 2,
-                 use_shared_memory: bool = True) -> None:
+                 use_shared_memory: bool = True,
+                 seed: int = 0) -> None:
         if n_workers is not None and int(n_workers) < 1:
             raise ValueError("n_workers must be >= 1")
         if int(max_idle) < 0:
@@ -391,6 +447,7 @@ class MultiprocessBackend(ExecutionBackend):
         self.start_method = start_method
         self.max_idle = int(max_idle)
         self.use_shared_memory = bool(use_shared_memory)
+        self.seed = int(seed)
         self.stats = MultiprocessStats()
         self._active: Dict[tuple, _SessionPool] = {}
         self._idle: "OrderedDict[tuple, _SessionPool]" = OrderedDict()
@@ -432,7 +489,13 @@ class MultiprocessBackend(ExecutionBackend):
         if state is None:
             state = self._idle.pop(key, None)
             if state is not None:
-                if _full_digest(session.points) != state.content_digest:
+                # A store-backed pool needs no digest check: its pool key
+                # already embeds the store's path-derived id and sampled
+                # file fingerprint (the guard DatasetIdentity gives
+                # arrays), and the workers read the file itself — there is
+                # no parent-side array snapshot to go stale.
+                if state.store_path is None \
+                        and _full_digest(session.points) != state.content_digest:
                     # The array was mutated in place between sessions: the
                     # workers' shared-memory snapshot (and their cached
                     # indexes) are stale — joining them against freshly
@@ -441,11 +504,18 @@ class MultiprocessBackend(ExecutionBackend):
                     state = None
                 else:
                     state.revived = True
-                    state.points = session.points  # re-pin for the active span
+                    # Re-pin for the active span.  For an on-disk source
+                    # this materializes the parent-side array — which any
+                    # query on this backend needs anyway (the parent plans
+                    # against a global index), and which is how dispatched
+                    # work is matched back to this pool.
+                    state.points = session.points
                     self.stats.pools_revived += 1
                     self._active[key] = state
         if state is None:
-            state = self._create_session_pool(key, session.points)
+            state = self._create_session_pool(
+                key, session.points,
+                store_path=session.source.storage_descriptor())
             self._active[key] = state
         state.attached.add(session.token)
         if getattr(session, "keep_warm", True):
@@ -471,7 +541,10 @@ class MultiprocessBackend(ExecutionBackend):
             return
         del self._active[key]
         if self.max_idle > 0 and (state.keep_warm_requested or state.revived):
-            state.content_digest = _full_digest(state.points)
+            # Store-backed pools skip the O(n) park digest — revival is
+            # guarded by the store fingerprint inside the pool key instead.
+            state.content_digest = _full_digest(state.points) \
+                if state.store_path is None else None
             state.points = None  # do not pin the dataset while idle
             self._idle[key] = state
             while len(self._idle) > self.max_idle:
@@ -498,29 +571,36 @@ class MultiprocessBackend(ExecutionBackend):
         """Whether a detached pool for the session's dataset is kept warm."""
         return self._pool_key(session) in self._idle
 
-    def _create_session_pool(self, key: tuple,
-                             points: np.ndarray) -> _SessionPool:
+    def _create_session_pool(self, key: tuple, points: np.ndarray,
+                             store_path: Optional[str] = None) -> _SessionPool:
         n_workers = self._resolved_workers()
         ctx = self._context()
         shm = None
-        if self.use_shared_memory and _shm is not None and points.nbytes > 0:
-            try:
-                shm = _shm.SharedMemory(create=True, size=points.nbytes)
-            except OSError:  # pragma: no cover - no /dev/shm etc.
-                shm = None
-            else:
-                view = np.ndarray(points.shape, dtype=points.dtype,
-                                  buffer=shm.buf)
-                view[:] = points
-                self.stats.shm_segments_created += 1
-        if shm is not None:
-            initargs = (shm.name, points.shape, str(points.dtype), None,
-                        self.inner_name)
+        if store_path is not None:
+            # On-disk source: workers map the store file themselves — no
+            # shared-memory copy, no pickled dataset, page cache shared.
+            initargs = (None, None, None, None, self.inner_name, store_path)
+            self.stats.datasets_mapped += 1
         else:
-            # Guarded fallback: the one-time initializer shipping of the
-            # original one-shot path (still once per worker, not per query).
-            initargs = (None, None, None, points, self.inner_name)
-            self.stats.datasets_shipped += 1
+            if self.use_shared_memory and _shm is not None and points.nbytes > 0:
+                try:
+                    shm = _shm.SharedMemory(create=True, size=points.nbytes)
+                except OSError:  # pragma: no cover - no /dev/shm etc.
+                    shm = None
+                else:
+                    view = np.ndarray(points.shape, dtype=points.dtype,
+                                      buffer=shm.buf)
+                    view[:] = points
+                    self.stats.shm_segments_created += 1
+            if shm is not None:
+                initargs = (shm.name, points.shape, str(points.dtype), None,
+                            self.inner_name)
+            else:
+                # Guarded fallback: the one-time initializer shipping of the
+                # original one-shot path (still once per worker, not per
+                # query).
+                initargs = (None, None, None, points, self.inner_name)
+                self.stats.datasets_shipped += 1
         try:
             pool = ctx.Pool(processes=n_workers,
                             initializer=_init_session_worker,
@@ -539,7 +619,8 @@ class MultiprocessBackend(ExecutionBackend):
         # public accessor exists).
         pids = tuple(proc.pid for proc in pool._pool)
         return _SessionPool(key=key, pool=pool, n_workers=n_workers,
-                            worker_pids=pids, points=points, shm=shm)
+                            worker_pids=pids, points=points, shm=shm,
+                            store_path=store_path)
 
     def _shutdown_pool(self, state: _SessionPool) -> None:
         if _shutdown_state(state):
@@ -597,8 +678,8 @@ class MultiprocessBackend(ExecutionBackend):
                      max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
                      device=None, threads_per_block=256) -> KernelStats:
         n_workers = self._resolved_workers()
-        plan = ShardPlanner(
-            n_shards=self._resolved_shards(n_workers)).plan(index, cells)
+        plan = ShardPlanner(n_shards=self._resolved_shards(n_workers),
+                            seed=self.seed).plan(index, cells)
         shards = [shard for shard in plan.shards if shard.shape[0]]
 
         state = self._session_pool_for(index.points)
@@ -620,7 +701,7 @@ class MultiprocessBackend(ExecutionBackend):
         if rows.shape[0] == 0:
             return KernelStats()
         n_workers = self._resolved_workers()
-        costs = estimate_probe_row_costs(queries[rows], index)
+        costs = estimate_probe_row_costs(queries[rows], index, seed=self.seed)
         groups = [rows[group]
                   for group in split_by_cost(costs,
                                              self._resolved_shards(n_workers))
@@ -628,7 +709,7 @@ class MultiprocessBackend(ExecutionBackend):
 
         state = self._session_pool_for(index.points)
         if state is not None:
-            if queries is index.points:
+            if queries is index.points and state.store_path is None:
                 # The session dataset probing itself (self-kNN,
                 # range-over-self) resolves to the workers' shared view:
                 # nothing but the row ids travels.
@@ -636,10 +717,13 @@ class MultiprocessBackend(ExecutionBackend):
                           None, int(max_candidate_pairs)) for group in groups]
                 key_maps = None
             else:
-                # External query set: ship each task only its own row-group
-                # slice (each query row pickled once per query, not once per
-                # task); workers emit slice-local keys that are re-based
-                # onto the global rows here.
+                # External query set — and *any* probe on a store-backed
+                # pool, whose workers hold the dataset in stored (B) order
+                # and so cannot resolve original-order row ids: ship each
+                # task only its own row-group slice (each query row pickled
+                # once per query, not once per task); workers emit
+                # slice-local keys that are re-based onto the global rows
+                # here.
                 queries_arr = np.asarray(queries, dtype=np.float64)
                 tasks = [(float(index.eps), None, float(eps), sink.num_rows,
                           queries_arr[group],

@@ -1,0 +1,195 @@
+"""SpatialStore format semantics: round-trip, sliced reads, halos, identity.
+
+The contracts the out-of-core execution relies on:
+
+* ``write`` → ``open`` round-trips the dataset exactly (``as_array`` is the
+  original array, bit for bit, in original row order);
+* a directory range's points come back as one contiguous read, arbitrary
+  directory positions as *coalesced* runs;
+* ``halo_positions`` returns exactly the non-empty cells within Chebyshev
+  radius of the range (verified against a brute-force recomputation);
+* identity is stable across re-opens (pool revival keys on it) and
+  distinguishes different stores.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.store import (
+    ArraySource,
+    DatasetSource,
+    SpatialStore,
+    as_dataset_source,
+    default_cell_width,
+)
+from repro.data.synthetic import uniform_dataset
+
+
+@pytest.fixture
+def points():
+    return uniform_dataset(400, 3, seed=3, low=0.0, high=8.0)
+
+
+@pytest.fixture
+def store(points, tmp_path):
+    return SpatialStore.write(points, tmp_path / "store", cell_width=1.0)
+
+
+class TestArraySource:
+    def test_wraps_and_normalizes(self):
+        raw = [[0.0, 1.0], [2.0, 3.0]]
+        source = as_dataset_source(raw)
+        assert isinstance(source, ArraySource)
+        assert source.shape == (2, 2)
+        assert source.as_array().dtype == np.float64
+        assert not source.supports_streaming
+        assert source.storage_descriptor() is None
+
+    def test_sources_pass_through(self, store):
+        assert as_dataset_source(store) is store
+
+    def test_identity_matches_shape_and_content(self, points):
+        a, b = ArraySource(points), ArraySource(points.copy())
+        assert a.identity().fingerprint == b.identity().fingerprint
+        assert a.identity().shape == points.shape
+
+
+class TestRoundTrip:
+    def test_as_array_is_bit_identical_in_original_order(self, points, store):
+        assert np.array_equal(store.as_array(), points)
+        assert store.as_array() is store.as_array()  # cached materialization
+
+    def test_reopen_reads_the_same_dataset(self, points, store):
+        reopened = SpatialStore.open(store.path)
+        assert np.array_equal(reopened.as_array(), points)
+        assert reopened.shape == (400, 3)
+        assert reopened.cell_width == 1.0
+
+    def test_stored_rows_are_grid_sorted_with_id_map(self, points, store):
+        stored = store.stored_points()
+        ids = store.stored_ids()
+        assert np.array_equal(np.sort(ids), np.arange(points.shape[0]))
+        assert np.array_equal(np.asarray(stored), points[np.asarray(ids)])
+        # Directory covers every stored row exactly once, in order.
+        assert int(store.cell_counts.sum()) == points.shape[0]
+        assert np.all(np.diff(store.cell_ids) > 0)
+        starts = np.concatenate(([0], np.cumsum(store.cell_counts)[:-1]))
+        assert np.array_equal(store.cell_starts, starts)
+
+    def test_streaming_capability_flags(self, store):
+        assert store.supports_streaming
+        assert store.storage_descriptor() == str(store.path)
+        assert isinstance(store, DatasetSource)
+
+    def test_default_cell_width_targets_occupancy(self, points, tmp_path):
+        auto = SpatialStore.write(points, tmp_path / "auto")
+        avg = points.shape[0] / auto.n_nonempty_cells
+        assert avg > 1.0  # cells hold multiple points on average
+        assert auto.cell_width == pytest.approx(default_cell_width(points))
+
+    def test_open_rejects_non_stores_and_bad_versions(self, tmp_path, store):
+        with pytest.raises(FileNotFoundError):
+            SpatialStore.open(tmp_path / "nowhere")
+        meta = json.loads((store.path / "meta.json").read_text())
+        meta["format_version"] = 99
+        (store.path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format version"):
+            SpatialStore.open(store.path)
+
+
+class TestSlicedReads:
+    def test_read_rows_matches_memmap(self, store):
+        stored = np.asarray(store.stored_points())
+        ids = np.asarray(store.stored_ids())
+        pts, got_ids = store.read_rows(37, 161)
+        assert np.array_equal(pts, stored[37:161])
+        assert np.array_equal(got_ids, ids[37:161])
+
+    def test_read_rows_bounds_checked(self, store):
+        with pytest.raises(ValueError):
+            store.read_rows(-1, 10)
+        with pytest.raises(ValueError):
+            store.read_rows(0, store.n_points + 1)
+
+    def test_read_cell_range_is_one_contiguous_read(self, store):
+        before = store.read_stats.reads
+        lo, hi = 2, min(9, store.n_nonempty_cells)
+        pts, ids = store.read_cell_range(lo, hi)
+        assert store.read_stats.reads == before + 1
+        expected_rows = int(store.cell_counts[lo:hi].sum())
+        assert pts.shape == (expected_rows, store.n_dims)
+        assert ids.shape == (expected_rows,)
+
+    def test_read_cell_positions_coalesces_runs(self, store):
+        n = store.n_nonempty_cells
+        assert n >= 8, "fixture must produce enough cells"
+        positions = np.array([0, 1, 2, 5, 6, n - 1], dtype=np.int64)
+        before = store.read_stats.reads
+        pts, ids = store.read_cell_positions(positions)
+        assert store.read_stats.reads == before + 3  # three runs
+        expected = int(store.cell_counts[positions].sum())
+        assert pts.shape[0] == ids.shape[0] == expected
+        # Same points as reading each cell separately.
+        parts = [store.read_cell_range(int(p), int(p) + 1)[1]
+                 for p in positions]
+        assert np.array_equal(ids, np.concatenate(parts))
+
+    def test_read_empty_position_set(self, store):
+        pts, ids = store.read_cell_positions(np.empty(0, dtype=np.int64))
+        assert pts.shape == (0, store.n_dims)
+        assert ids.shape == (0,)
+
+
+class TestHalo:
+    def test_halo_radius_ceils_eps_over_width(self, store):
+        assert store.halo_radius(0.3) == 1
+        assert store.halo_radius(1.0) == 1
+        assert store.halo_radius(1.1) == 2
+        assert store.halo_radius(3.0) == 3
+
+    @pytest.mark.parametrize("radius", [1, 2])
+    def test_halo_positions_match_bruteforce(self, store, radius):
+        n = store.n_nonempty_cells
+        lo, hi = n // 3, 2 * n // 3
+        got = store.halo_positions(lo, hi, radius)
+        # Brute force: every non-empty cell within Chebyshev distance of
+        # any owned cell, excluding the owned range itself.
+        owned = store.cell_coords[lo:hi]
+        cheb = np.abs(store.cell_coords[:, None, :]
+                      - owned[None, :, :]).max(axis=2).min(axis=1)
+        expected = np.flatnonzero(cheb <= radius)
+        expected = expected[(expected < lo) | (expected >= hi)]
+        assert np.array_equal(got, expected)
+
+    def test_halo_excludes_owned_and_handles_degenerate_ranges(self, store):
+        got = store.halo_positions(0, store.n_nonempty_cells, 1)
+        assert got.shape[0] == 0  # whole domain owned: nothing left
+        assert store.halo_positions(3, 3, 1).shape[0] == 0  # empty range
+        assert store.halo_positions(0, 4, 0).shape[0] == 0  # zero radius
+
+    def test_halo_chunking_is_transparent(self, store):
+        n = store.n_nonempty_cells
+        lo, hi = 1, n - 1
+        assert np.array_equal(
+            store.halo_positions(lo, hi, 1, chunk_cells=3),
+            store.halo_positions(lo, hi, 1))
+
+
+class TestIdentity:
+    def test_identity_stable_across_reopens(self, store):
+        assert SpatialStore.open(store.path).identity() == store.identity()
+
+    def test_identity_differs_between_stores(self, points, store, tmp_path):
+        other = SpatialStore.write(points * 1.5, tmp_path / "other",
+                                   cell_width=1.0)
+        assert other.identity() != store.identity()
+        assert other.identity().fingerprint != store.identity().fingerprint
+
+    def test_identity_differs_from_array_source(self, points, store):
+        # Same logical dataset, different physical source: per-dataset
+        # caches (worker pools) must not be shared across representations.
+        assert store.identity() != ArraySource(points).identity()

@@ -11,7 +11,7 @@ from repro.experiments.__main__ import build_parser, main
 class TestRegistry:
     def test_all_tables_and_figures_present(self):
         expected = {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "table1", "table2", "engine", "scaling"}
+                    "table1", "table2", "engine", "scaling", "outofcore"}
         assert set(list_experiments()) == expected
 
     def test_get_experiment(self):
