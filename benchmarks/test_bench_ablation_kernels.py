@@ -1,19 +1,27 @@
 """Ablation: kernel implementation strategies and the UNICOMP work reduction.
 
 Compares the three kernel implementations (pointwise reference, per-cell,
-vectorized) on the same input, and quantifies the UNICOMP reduction of cells
-searched and distance calculations (the paper's "factor of ~2").
+vectorized) plus the tiered dispatcher of :mod:`repro.core.nativekernels`
+on the same input, and quantifies the UNICOMP reduction of cells searched
+and distance calculations (the paper's "factor of ~2").  The report header
+records the host CPU count and the numba version (or the fallback reason),
+because the tier rows depend on both.
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.core import nativekernels as nk
 from repro.core.gridindex import GridIndex
 from repro.core.kernels import (
     selfjoin_global_cellwise,
     selfjoin_global_pointwise,
     selfjoin_global_vectorized,
+    selfjoin_tiered,
     selfjoin_unicomp_vectorized,
 )
+from repro.core.result import PairFragments
 from repro.data.synthetic import uniform_dataset
 from repro.experiments.report import format_table
 from repro.utils.timing import Timer
@@ -26,6 +34,11 @@ def test_bench_kernel_implementations(benchmark, write_report):
     eps = 0.6 * (2_000_000 / n_points) ** 0.5
     index = GridIndex.build(points, eps)
 
+    tiers = [t for t, err in nk.kernel_tier_availability().items()
+             if err is None]
+    if "numba" in tiers:
+        nk.warm_jit_cache()
+
     def run_all():
         rows = []
         for name, kernel in (("pointwise (Algorithm 1)", selfjoin_global_pointwise),
@@ -34,10 +47,22 @@ def test_bench_kernel_implementations(benchmark, write_report):
             with Timer() as t:
                 out = kernel(index)
             rows.append((name, t.elapsed, out.result.num_pairs))
+        for tier in tiers:
+            for choice in ("dense", "sparse"):
+                sink = PairFragments(index.num_points)
+                with Timer() as t:
+                    out = selfjoin_tiered(index, eps, sink=sink, tier=tier,
+                                          kernel=choice)
+                rows.append((f"tiered ({tier}/{choice})", t.elapsed,
+                             out.stats.result_pairs))
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    write_report("ablation_kernels", format_table(
+    availability = nk.kernel_tier_availability()
+    numba_line = f"numba: {nk.numba_version()}" if availability["numba"] is None \
+        else f"numba: unavailable -- {availability['numba']}"
+    write_report("ablation_kernels", "\n".join(
+        [f"host cpus: {os.cpu_count()}", numba_line]) + "\n" + format_table(
         ("kernel", "time_s", "pairs"), rows,
         title="Ablation: kernel implementation strategies"))
 

@@ -4,6 +4,11 @@ from repro.core.gridindex import GridIndex
 from repro.core.result import NeighborTable, ResultSet
 from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig, selfjoin
 from repro.core.batching import BatchPlan, BatchPlanner
+from repro.core.nativekernels import (
+    KernelTierUnavailableError,
+    kernel_tier_availability,
+    resolve_kernel_tier,
+)
 
 __all__ = [
     "GridIndex",
@@ -14,4 +19,7 @@ __all__ = [
     "selfjoin",
     "BatchPlan",
     "BatchPlanner",
+    "KernelTierUnavailableError",
+    "kernel_tier_availability",
+    "resolve_kernel_tier",
 ]

@@ -32,10 +32,11 @@ complete self-join result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import nativekernels
 from repro.core.gridindex import GridIndex
 from repro.core.neighbors import (
     adjacent_ranges,
@@ -67,6 +68,14 @@ class KernelStats:
     nonempty_cells_visited: int = 0
     distance_calcs: int = 0
     result_pairs: int = 0
+    #: Kernel tier that produced these counters (``"numpy"``/``"numba"``);
+    #: empty until a tier-dispatched kernel stamps it.  Merging stats from
+    #: different tiers joins the names with ``+``.
+    tier: str = ""
+    #: How many tier-dispatched kernel invocations ran each kernel regime
+    #: (``"dense"``/``"sparse"``).  Under sharded execution one invocation is
+    #: one shard, so this records the adaptive per-shard selection outcome.
+    kernel_counts: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "KernelStats") -> "KernelStats":
         """Accumulate another batch's counters into this one (returns self)."""
@@ -74,6 +83,14 @@ class KernelStats:
         self.nonempty_cells_visited += other.nonempty_cells_visited
         self.distance_calcs += other.distance_calcs
         self.result_pairs += other.result_pairs
+        if other.tier:
+            if not self.tier:
+                self.tier = other.tier
+            elif other.tier != self.tier:
+                self.tier = "+".join(sorted(
+                    set(self.tier.split("+")) | set(other.tier.split("+"))))
+        for kernel, count in other.kernel_counts.items():
+            self.kernel_counts[kernel] = self.kernel_counts.get(kernel, 0) + count
         return self
 
 
@@ -253,12 +270,17 @@ def selfjoin_global_vectorized(index: GridIndex, eps: Optional[float] = None,
                                source_cells: Optional[np.ndarray] = None,
                                max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
                                sink: Optional[PairFragments] = None,
+                               native_kernel: Optional[Callable] = None,
                                ) -> KernelOutput:
     """Vectorized GLOBAL kernel (offset-major loop order).
 
     For each of the ``3^n`` neighbor offsets, all (source, target) non-empty
     cell pairs are resolved at once and their candidate point pairs expanded
     and distance-filtered in chunks of at most ``max_candidate_pairs``.
+
+    ``native_kernel`` swaps the NumPy expand/filter step for one of the
+    compiled pair kernels from :mod:`repro.core.nativekernels`; the cell
+    walk, offset order, chunking and stats are unchanged.
     """
     eps = index.eps if eps is None else float(eps)
     stats = KernelStats()
@@ -275,7 +297,8 @@ def selfjoin_global_vectorized(index: GridIndex, eps: Optional[float] = None,
         if src.shape[0] == 0:
             continue
         n_dist = _emit_pairs_chunked(index, src, tgt, eps, max_candidate_pairs,
-                                     sink, mirror=False)
+                                     sink, mirror=False,
+                                     native_kernel=native_kernel)
         stats.distance_calcs += n_dist
     stats.result_pairs = sink.num_pairs - before
     result = None if external else sink.to_result_set()
@@ -286,6 +309,7 @@ def selfjoin_unicomp_vectorized(index: GridIndex, eps: Optional[float] = None,
                                 source_cells: Optional[np.ndarray] = None,
                                 max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
                                 sink: Optional[PairFragments] = None,
+                                native_kernel: Optional[Callable] = None,
                                 ) -> KernelOutput:
     """Vectorized UNICOMP kernel.
 
@@ -316,11 +340,57 @@ def selfjoin_unicomp_vectorized(index: GridIndex, eps: Optional[float] = None,
         if src.shape[0] == 0:
             continue
         n_dist = _emit_pairs_chunked(index, src, tgt, eps, max_candidate_pairs,
-                                     sink, mirror=not is_home)
+                                     sink, mirror=not is_home,
+                                     native_kernel=native_kernel)
         stats.distance_calcs += n_dist
     stats.result_pairs = sink.num_pairs - before
     result = None if external else sink.to_result_set()
     return KernelOutput(result=result, stats=stats)
+
+
+# --------------------------------------------------------------------------
+# tier dispatch
+# --------------------------------------------------------------------------
+def selfjoin_tiered(index: GridIndex, eps: Optional[float] = None,
+                    source_cells: Optional[np.ndarray] = None,
+                    max_candidate_pairs: int = DEFAULT_MAX_CANDIDATE_PAIRS,
+                    sink: Optional[PairFragments] = None, *,
+                    unicomp: bool = False, tier: str = "auto",
+                    kernel: str = "auto") -> KernelOutput:
+    """Run the self-join on the resolved kernel tier with adaptive selection.
+
+    This is the production dispatch behind the ``vectorized`` backend (and
+    therefore behind ``sharded``/``multiprocess``, which run it once per
+    shard).  ``tier`` picks the implementation tier (``numpy``/``numba``,
+    ``auto`` preferring numba when available); ``kernel`` picks the cell
+    regime (``dense``/``sparse``, ``auto`` deciding from the cell subset's
+    population via
+    :func:`repro.core.nativekernels.choose_selfjoin_kernel`).  The chosen
+    tier and kernel are stamped on the returned
+    :class:`KernelStats` (``tier``, ``kernel_counts``).
+
+    On the NumPy tier the dense regime routes to the per-cell kernels and
+    the sparse regime to the offset-major vectorized kernels; on the numba
+    tier both regimes run the offset-major walk with the corresponding
+    compiled pair kernel.  All routes emit identical pair sets.
+    """
+    resolved = nativekernels.resolve_kernel_tier(tier)
+    choice = kernel if kernel != "auto" else nativekernels.choose_selfjoin_kernel(
+        index, source_cells, max_candidate_pairs)
+    if resolved == "numba":
+        native = nativekernels.native_pair_kernels()[choice]
+        fn = selfjoin_unicomp_vectorized if unicomp else selfjoin_global_vectorized
+        out = fn(index, eps, source_cells, max_candidate_pairs, sink=sink,
+                 native_kernel=native)
+    elif choice == "dense":
+        fn = selfjoin_unicomp_cellwise if unicomp else selfjoin_global_cellwise
+        out = fn(index, eps, source_cells, sink=sink)
+    else:
+        fn = selfjoin_unicomp_vectorized if unicomp else selfjoin_global_vectorized
+        out = fn(index, eps, source_cells, max_candidate_pairs, sink=sink)
+    out.stats.tier = resolved
+    out.stats.kernel_counts[choice] = out.stats.kernel_counts.get(choice, 0) + 1
+    return out
 
 
 #: Legacy dispatch table on (kernel implementation, unicomp flag).  Kept for
@@ -373,17 +443,25 @@ def _resolve_offset_pairs(index: GridIndex, source_cells: np.ndarray,
 
 def _emit_pairs_chunked(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
                         eps: float, max_candidate_pairs: int,
-                        sink: PairFragments, mirror: bool) -> int:
+                        sink: PairFragments, mirror: bool,
+                        native_kernel: Optional[Callable] = None) -> int:
     """Expand cell pairs into point pairs, filter by distance, emit into ``sink``.
 
     Returns the number of distance evaluations performed.  When ``mirror`` is
     true both ordered pairs are emitted for every match (UNICOMP non-home
-    offsets).
+    offsets).  With ``native_kernel`` the expand/filter step runs as a
+    compiled pair kernel emitting into preallocated buffers instead of the
+    NumPy ragged expansion.
     """
     eps2 = eps * eps
     points = index.points
-    sizes_s = index.cell_counts[src]
-    sizes_t = index.cell_counts[tgt]
+    # Gather the CSR ranges of the cell pairs once; the chunk loop below
+    # slices these views instead of re-indexing cell_counts/cell_starts for
+    # every chunk.
+    sizes_s = index.cell_counts[src].astype(np.int64)
+    sizes_t = index.cell_counts[tgt].astype(np.int64)
+    starts_s = index.cell_starts[src].astype(np.int64)
+    starts_t = index.cell_starts[tgt].astype(np.int64)
     pair_counts = sizes_s * sizes_t
     total = int(pair_counts.sum())
     if total == 0:
@@ -392,7 +470,25 @@ def _emit_pairs_chunked(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
     # Split the cell-pair list into chunks whose expanded size stays bounded.
     boundaries = _chunk_boundaries(pair_counts, max_candidate_pairs)
     for lo, hi in boundaries:
-        q_idx, c_idx = _expand_cell_pairs(index, src[lo:hi], tgt[lo:hi])
+        chunk_total = int(pair_counts[lo:hi].sum())
+        if chunk_total == 0:
+            continue
+        if native_kernel is not None:
+            capacity = chunk_total * (2 if mirror else 1)
+            keys = np.empty(capacity, dtype=np.int64)
+            values = np.empty(capacity, dtype=np.int64)
+            n = native_kernel(points, points, index.A, index.A,
+                              starts_s[lo:hi], sizes_s[lo:hi],
+                              starts_t[lo:hi], sizes_t[lo:hi],
+                              eps2, keys, values, mirror)
+            n_dist += chunk_total
+            # Copy off the oversized buffers so the sink holds right-sized
+            # fragments, not views pinning full-capacity allocations.
+            sink.emit(keys[:n].copy(), values[:n].copy())
+            continue
+        q_idx, c_idx = _expand_cell_pairs(index.A,
+                                          starts_s[lo:hi], sizes_s[lo:hi],
+                                          starts_t[lo:hi], sizes_t[lo:hi])
         diff = points[q_idx] - points[c_idx]
         dist2 = np.einsum("ij,ij->i", diff, diff)
         n_dist += int(dist2.shape[0])
@@ -422,19 +518,19 @@ def _chunk_boundaries(pair_counts: np.ndarray, max_candidate_pairs: int) -> List
     return boundaries
 
 
-def _expand_cell_pairs(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
+def _expand_cell_pairs(A: np.ndarray,
+                       starts_s: np.ndarray, sizes_s: np.ndarray,
+                       starts_t: np.ndarray, sizes_t: np.ndarray,
                        ) -> tuple[np.ndarray, np.ndarray]:
     """Expand (source cell, target cell) pairs into all candidate point pairs.
 
-    Uses the standard ragged-expansion arithmetic: for the k-th cell pair with
+    Takes the cell pairs' already-gathered CSR ranges (the caller hoists the
+    ``cell_counts``/``cell_starts`` gathers out of its chunk loop) and uses
+    the standard ragged-expansion arithmetic: for the k-th cell pair with
     ``s_k`` source points and ``t_k`` target points, ``s_k * t_k`` flat local
     indices are generated and decomposed into (row, column) offsets into the
     point lookup array ``A``.
     """
-    sizes_s = index.cell_counts[src].astype(np.int64)
-    sizes_t = index.cell_counts[tgt].astype(np.int64)
-    starts_s = index.cell_starts[src].astype(np.int64)
-    starts_t = index.cell_starts[tgt].astype(np.int64)
     pair_counts = sizes_s * sizes_t
     total = int(pair_counts.sum())
     if total == 0:
@@ -446,8 +542,8 @@ def _expand_cell_pairs(index: GridIndex, src: np.ndarray, tgt: np.ndarray,
     st = sizes_t[pair_id]
     i_local = local // st
     j_local = local - i_local * st
-    q_idx = index.A[starts_s[pair_id] + i_local]
-    c_idx = index.A[starts_t[pair_id] + j_local]
+    q_idx = A[starts_s[pair_id] + i_local]
+    c_idx = A[starts_t[pair_id] + j_local]
     return q_idx, c_idx
 
 

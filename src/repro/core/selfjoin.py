@@ -93,7 +93,10 @@ class SelfJoinConfig:
     max_dims: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.kernel not in VALID_KERNELS:
+        # Parameterized backend specs ("vectorized(kernel=numba)") are
+        # validated by base name so the kernel-tier knob passes through.
+        base = self.kernel.split("(", 1)[0]
+        if base not in VALID_KERNELS:
             raise ValueError(f"kernel must be one of {VALID_KERNELS}, got {self.kernel!r}")
         if self.kernel == "pointwise" and self.unicomp:
             raise ValueError("the pointwise reference kernel has no UNICOMP variant")
@@ -124,6 +127,9 @@ class JoinReport:
     #: Whether ``num_pairs`` still counts the trivial (p, p) self-pairs
     #: (i.e. the join ran with ``include_self=True``).
     includes_self_pairs: bool = True
+    #: Kernel tier that produced the numbers (``"numpy"``/``"numba"``), so
+    #: experiment reports record which implementation tier ran.
+    kernel_tier: str = "numpy"
 
     @property
     def avg_neighbors(self) -> float:
@@ -201,6 +207,7 @@ class GPUSelfJoin:
             batch_plan=engine_result.plan.batch_plan,
             batch_report=engine_result.batch_report,
             includes_self_pairs=self.config.include_self,
+            kernel_tier=engine_result.stats.tier or "numpy",
         )
         return result, report
 

@@ -34,11 +34,13 @@ Available backends:
 
 Backend lookup accepts parameterized names — ``"multiprocess(4)"`` builds
 the multiprocess backend with four workers, ``"sharded(7)"`` a seven-shard
-decomposition — and is *lazy*: a backend whose optional dependency is
-missing stays listed in :func:`list_backends` but raises a clear
-:class:`BackendUnavailableError` from :func:`get_backend`;
-:func:`backend_availability` reports every backend's status (groundwork for
-a CuPy-gated real-GPU backend).
+decomposition, and keyword arguments are accepted too:
+``"sharded(4, kernel=numba)"`` forces the numba kernel tier (see
+:mod:`repro.core.nativekernels`) under a four-shard decomposition.  Lookup
+is *lazy*: a backend whose optional dependency is missing stays listed in
+:func:`list_backends` but raises a clear :class:`BackendUnavailableError`
+from :func:`get_backend`; :func:`backend_availability` reports every
+backend's status (groundwork for a CuPy-gated real-GPU backend).
 """
 
 from __future__ import annotations
@@ -52,15 +54,15 @@ from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 import numpy as np
 
 from repro.core import linearize as lin
+from repro.core import nativekernels
 from repro.core.gridindex import GridIndex
 from repro.core.kernels import (
     DEFAULT_MAX_CANDIDATE_PAIRS,
     KernelStats,
     selfjoin_global_cellwise,
     selfjoin_global_pointwise,
-    selfjoin_global_vectorized,
+    selfjoin_tiered,
     selfjoin_unicomp_cellwise,
-    selfjoin_unicomp_vectorized,
 )
 from repro.core.neighbors import (
     adjacent_ranges,
@@ -114,6 +116,18 @@ class ExecutionBackend(abc.ABC):
         Paired with :meth:`attach`; called from ``EngineSession.close()``.
         The default is a no-op.
         """
+
+    def kernel_tier(self) -> str:
+        """Resolved kernel tier this backend's distance loops run on.
+
+        ``"numpy"`` unless the backend routes through the tiered kernel
+        dispatch of :mod:`repro.core.nativekernels` (the ``vectorized``
+        backend and everything that composes it).  Sessions use this to
+        warm the JIT cache at attach time; may raise
+        :class:`~repro.core.nativekernels.KernelTierUnavailableError` when
+        an explicitly requested tier cannot run here.
+        """
+        return "numpy"
 
     @abc.abstractmethod
     def run_selfjoin(self, index: GridIndex, eps: float,
@@ -230,27 +244,67 @@ def register_lazy_backend(name: str, module: str,
     _evict_instances(name)
 
 
-def _parse_backend_name(name: str) -> Tuple[str, Tuple[Union[int, float, str], ...]]:
-    """Split ``"multiprocess(4)"`` into ``("multiprocess", (4,))``."""
+def _coerce_token(token: str) -> Union[int, float, str]:
+    """Coerce a spec token to int, then float, falling back to the string."""
+    try:
+        return int(token)
+    except ValueError:
+        try:
+            return float(token)
+        except ValueError:
+            return token
+
+
+def _parse_backend_name(name: str) -> Tuple[str, Tuple[Union[int, float, str], ...],
+                                            Dict[str, Union[int, float, str]]]:
+    """Split a backend spec into ``(base, args, kwargs)``.
+
+    ``"multiprocess(4)"`` parses to ``("multiprocess", (4,), {})`` and
+    ``"sharded(4, kernel=numba)"`` to ``("sharded", (4,),
+    {"kernel": "numba"})``.  Positional tokens may not follow keyword ones.
+    """
     match = _NAME_RE.match(name.strip())
     if match is None:
         raise KeyError(f"malformed backend name {name!r}; expected "
-                       "'<name>' or '<name>(<arg>, ...)'")
+                       "'<name>' or '<name>(<arg>, ..., <key>=<value>, ...)'")
     base = match.group("base")
     raw = match.group("args")
     if raw is None or not raw.strip():
-        return base, ()
+        return base, (), {}
     args: List[Union[int, float, str]] = []
+    kwargs: Dict[str, Union[int, float, str]] = {}
     for token in raw.split(","):
         token = token.strip()
-        try:
-            args.append(int(token))
-        except ValueError:
-            try:
-                args.append(float(token))
-            except ValueError:
-                args.append(token)
-    return base, tuple(args)
+        if "=" in token:
+            key, _, value = token.partition("=")
+            key = key.strip()
+            if not key.isidentifier():
+                raise KeyError(f"malformed keyword {token!r} in backend "
+                               f"name {name!r}")
+            kwargs[key] = _coerce_token(value.strip())
+        else:
+            if kwargs:
+                raise KeyError(f"positional argument {token!r} follows a "
+                               f"keyword argument in backend name {name!r}")
+            args.append(_coerce_token(token))
+    return base, tuple(args), kwargs
+
+
+def compose_kernel_spec(inner: str, kernel: str) -> str:
+    """Thread a ``kernel=`` knob into an inner-backend spec string.
+
+    Decomposing backends (``sharded``, ``multiprocess``) take the kernel
+    spec as their own knob and forward it to their inner backend by name —
+    ``compose_kernel_spec("vectorized", "numba")`` is
+    ``"vectorized(kernel=numba)"`` — so the spec survives pickling to pool
+    workers as a plain string.  ``"auto"`` composes to the inner spec
+    unchanged (resolution happens inside the tiered dispatch).
+    """
+    if kernel == "auto":
+        return inner
+    if inner.endswith(")"):
+        return f"{inner[:-1]}, kernel={kernel})"
+    return f"{inner}(kernel={kernel})"
 
 
 def _resolve_provider(base: str) -> BackendProvider:
@@ -286,10 +340,10 @@ def get_backend(name: str) -> ExecutionBackend:
     cached = _INSTANCES.get(name)
     if cached is not None:
         return cached
-    base, args = _parse_backend_name(name)
+    base, args, kwargs = _parse_backend_name(name)
     provider = _resolve_provider(base)
     try:
-        instance = provider.factory(*args)
+        instance = provider.factory(*args, **kwargs)
     except TypeError as exc:
         raise ValueError(f"bad arguments for backend {base!r}: {exc}") from exc
     _INSTANCES[name] = instance
@@ -362,7 +416,8 @@ def _reject_cell_subset(backend: ExecutionBackend, cells) -> None:
 
 def _vectorized_probe(queries: np.ndarray, index: GridIndex, eps: float,
                       sink: PairFragments, rows: Optional[np.ndarray],
-                      max_candidate_pairs: int) -> KernelStats:
+                      max_candidate_pairs: int,
+                      native_kernel: Optional[Callable] = None) -> KernelStats:
     """Offset-major bipartite probe (production path).
 
     The query points are grouped by their cell coordinates *in the index's
@@ -370,6 +425,8 @@ def _vectorized_probe(queries: np.ndarray, index: GridIndex, eps: float,
     for each of the 3^n offsets, all (query group, index cell) pairs are
     resolved with one vectorized binary search and their candidate point
     pairs expanded and distance-filtered in bounded chunks.
+    ``native_kernel`` swaps the expand/filter step for a compiled pair
+    kernel from :mod:`repro.core.nativekernels`.
     """
     stats = KernelStats()
     rows = _probe_rows(queries, rows)
@@ -412,7 +469,8 @@ def _vectorized_probe(queries: np.ndarray, index: GridIndex, eps: float,
             continue
         stats.distance_calcs += _emit_group_pairs(
             probe_pts, rows, index, order, starts, counts, src_groups,
-            tgt_cells, eps2, max_candidate_pairs, sink)
+            tgt_cells, eps2, max_candidate_pairs, sink,
+            native_kernel=native_kernel)
     stats.result_pairs = sink.num_pairs - before
     return stats
 
@@ -420,7 +478,8 @@ def _vectorized_probe(queries: np.ndarray, index: GridIndex, eps: float,
 def _emit_group_pairs(probe_pts: np.ndarray, rows: np.ndarray, index: GridIndex,
                       order: np.ndarray, starts: np.ndarray, counts: np.ndarray,
                       src_groups: np.ndarray, tgt_cells: np.ndarray, eps2: float,
-                      max_candidate_pairs: int, sink: PairFragments) -> int:
+                      max_candidate_pairs: int, sink: PairFragments,
+                      native_kernel: Optional[Callable] = None) -> int:
     """Expand (query group, index cell) pairs, filter by distance, emit pairs."""
     sizes_s = counts[src_groups].astype(np.int64)
     sizes_t = index.cell_counts[tgt_cells].astype(np.int64)
@@ -442,7 +501,18 @@ def _emit_group_pairs(probe_pts: np.ndarray, rows: np.ndarray, index: GridIndex,
         chunk = slice(lo, hi)
         chunk_counts = pair_counts[chunk]
         chunk_total = int(chunk_counts.sum())
-        if chunk_total:
+        if chunk_total and native_kernel is not None:
+            keys = np.empty(chunk_total, dtype=np.int64)
+            values = np.empty(chunk_total, dtype=np.int64)
+            # The query side indirects through the group order array, so the
+            # kernel emits *local* probe rows; map them to global rows here.
+            n = native_kernel(probe_pts, index.points, order, index.A,
+                              starts_s[chunk], sizes_s[chunk],
+                              starts_t[chunk], sizes_t[chunk],
+                              eps2, keys, values, False)
+            n_dist += chunk_total
+            sink.emit(rows[keys[:n]], values[:n].copy())
+        elif chunk_total:
             pair_offsets = np.zeros(chunk_counts.shape[0] + 1, dtype=np.int64)
             np.cumsum(chunk_counts, out=pair_offsets[1:])
             pair_id = np.repeat(np.arange(chunk_counts.shape[0], dtype=np.int64),
@@ -460,6 +530,34 @@ def _emit_group_pairs(probe_pts: np.ndarray, rows: np.ndarray, index: GridIndex,
             sink.emit(rows[q_idx[within]], c_idx[within])
         lo = hi
     return n_dist
+
+
+def _tiered_probe(queries: np.ndarray, index: GridIndex, eps: float,
+                  sink: PairFragments, rows: Optional[np.ndarray],
+                  max_candidate_pairs: int, tier: str,
+                  kernel: str) -> KernelStats:
+    """Probe on the resolved kernel tier with adaptive kernel selection.
+
+    The probe-side analogue of :func:`repro.core.kernels.selfjoin_tiered`:
+    the dense/sparse choice reads the *index* side's cell populations (the
+    candidate side dominates the expansion work) and the chosen tier and
+    kernel are stamped on the returned stats.
+    """
+    resolved = nativekernels.resolve_kernel_tier(tier)
+    choice = kernel if kernel != "auto" else nativekernels.choose_selfjoin_kernel(
+        index, None, max_candidate_pairs)
+    if resolved == "numba":
+        native = nativekernels.native_pair_kernels()[choice]
+        stats = _vectorized_probe(queries, index, eps, sink, rows,
+                                  max_candidate_pairs, native_kernel=native)
+    elif choice == "dense":
+        stats = _cellwise_probe(queries, index, eps, sink, rows)
+    else:
+        stats = _vectorized_probe(queries, index, eps, sink, rows,
+                                  max_candidate_pairs)
+    stats.tier = resolved
+    stats.kernel_counts[choice] = stats.kernel_counts.get(choice, 0) + 1
+    return stats
 
 
 def _pointwise_probe(queries: np.ndarray, index: GridIndex, eps: float,
@@ -536,22 +634,41 @@ def _cellwise_probe(queries: np.ndarray, index: GridIndex, eps: float,
 # --------------------------------------------------------------------------
 @register_backend
 class VectorizedBackend(ExecutionBackend):
-    """Production path: offset-major vectorized kernels and probe."""
+    """Production path: tier-dispatched kernels behind the operator seam.
+
+    Both operators route through the kernel-tier dispatch
+    (:func:`repro.core.kernels.selfjoin_tiered` and the probe analogue):
+    the numba tier when available, the offset-major NumPy kernels
+    otherwise, with the dense/sparse kernel regime chosen adaptively from
+    the cell populations at hand.  ``kernel`` pins either axis —
+    ``"vectorized(kernel=numba)"``, ``"vectorized(kernel=sparse)"``,
+    ``"vectorized(kernel=numpy/dense)"``.
+    """
 
     name = "vectorized"
     supports_cell_subset = True
     supports_unicomp = True
 
+    def __init__(self, kernel: str = "auto") -> None:
+        self.kernel_spec = str(kernel)
+        self.tier, self.kernel_choice = nativekernels.parse_kernel_spec(
+            self.kernel_spec)
+
+    def kernel_tier(self) -> str:
+        return nativekernels.resolve_kernel_tier(self.tier)
+
     def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
                      max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
                      device=None, threads_per_block=256) -> KernelStats:
-        kernel = selfjoin_unicomp_vectorized if unicomp else selfjoin_global_vectorized
-        return kernel(index, eps, cells, max_candidate_pairs, sink=sink).stats
+        return selfjoin_tiered(index, eps, cells, max_candidate_pairs,
+                               sink=sink, unicomp=unicomp, tier=self.tier,
+                               kernel=self.kernel_choice).stats
 
     def run_probe(self, queries, index, eps, sink, *, rows=None,
                   max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
-        return _vectorized_probe(queries, index, eps, sink, rows,
-                                 max_candidate_pairs)
+        return _tiered_probe(queries, index, eps, sink, rows,
+                             max_candidate_pairs, self.tier,
+                             self.kernel_choice)
 
 
 @register_backend

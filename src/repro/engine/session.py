@@ -60,6 +60,7 @@ from repro.data.store import (  # noqa: F401  (re-exported for compatibility)
     as_dataset_source,
     dataset_identity,
 )
+from repro.core import nativekernels
 from repro.engine.backends import ExecutionBackend
 from repro.engine.executor import EngineResult, execute
 from repro.engine.planner import QueryPlanner
@@ -169,9 +170,16 @@ class EngineSession:
         return self._open
 
     def open(self) -> "EngineSession":
-        """Attach the backend (idempotent); returns ``self`` for chaining."""
+        """Attach the backend (idempotent); returns ``self`` for chaining.
+
+        When the backend resolves to the numba kernel tier, the JIT cache is
+        warmed here — once, at attach time — so compilation never lands
+        inside the first timed query of the session.
+        """
         if not self._open:
             self.backend.attach(self)
+            if self.backend.kernel_tier() == "numba":
+                nativekernels.warm_jit_cache()
             self._open = True
         return self
 

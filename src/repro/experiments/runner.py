@@ -39,7 +39,10 @@ EPS_INDEPENDENT = ("GPU: Brute Force",)
 #: Engine-backed variants: ``Engine[<backend>]`` runs the self-join through
 #: :mod:`repro.engine` on the named execution backend — parameterized names
 #: work too (``Engine[multiprocess(4)]``) — so every registered backend can
-#: be measured with the same harness as the paper's algorithms.
+#: be measured with the same harness as the paper's algorithms.  A
+#: ``/<kernel-spec>`` suffix pins the kernel tier for the measurement:
+#: ``Engine[sharded/numba]`` is the sharded backend on the numba tier
+#: (shorthand for ``Engine[sharded(kernel=numba)]``).
 ENGINE_ALGORITHM_PREFIX = "Engine["
 ENGINE_ALGORITHMS = ("Engine[vectorized]", "Engine[cellwise]",
                      "Engine[bruteforce]", "Engine[sharded]",
@@ -47,10 +50,23 @@ ENGINE_ALGORITHMS = ("Engine[vectorized]", "Engine[cellwise]",
 
 
 def engine_backend_of(algorithm: str) -> Optional[str]:
-    """Backend name of an ``Engine[<backend>]`` label (``None`` otherwise)."""
-    if algorithm.startswith(ENGINE_ALGORITHM_PREFIX) and algorithm.endswith("]"):
-        return algorithm[len(ENGINE_ALGORITHM_PREFIX):-1]
-    return None
+    """Backend spec of an ``Engine[<backend>]`` label (``None`` otherwise).
+
+    A ``/<kernel-spec>`` suffix on the backend name is translated into the
+    registry's ``kernel=`` keyword: ``Engine[sharded/numba]`` resolves to
+    ``"sharded(kernel=numba)"`` and ``Engine[sharded(4)/numba]`` to
+    ``"sharded(4, kernel=numba)"``.
+    """
+    if not (algorithm.startswith(ENGINE_ALGORITHM_PREFIX)
+            and algorithm.endswith("]")):
+        return None
+    spec = algorithm[len(ENGINE_ALGORITHM_PREFIX):-1]
+    if "/" not in spec:
+        return spec
+    backend, kernel = spec.split("/", 1)
+    if backend.endswith(")"):
+        return f"{backend[:-1]}, kernel={kernel})"
+    return f"{backend}(kernel={kernel})"
 
 
 @dataclass

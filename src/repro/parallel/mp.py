@@ -66,8 +66,10 @@ from repro.core.batching import estimate_probe_row_costs, split_by_cost
 from repro.core.gridindex import GridIndex
 from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelStats
 from repro.core.result import PairFragments
+from repro.core.nativekernels import parse_kernel_spec
 from repro.engine.backends import (
     ExecutionBackend,
+    compose_kernel_spec,
     get_backend,
     register_backend,
     _probe_rows,
@@ -420,10 +422,14 @@ class MultiprocessBackend(ExecutionBackend):
     seed:
         RNG seed for the sampled cost estimates behind the shard and
         probe-row decompositions, so plans are reproducible from one knob:
-        ``MultiprocessBackend(seed=11)``, or positionally in a registry
-        spec — ``multiprocess(4, vectorized, 8, fork, 2, 1, 11)`` (specs
-        cannot skip defaulted positions, so every earlier argument must be
-        spelled out; ``1``/``0`` stand in for the booleans).
+        ``MultiprocessBackend(seed=11)``, or in a registry spec —
+        ``multiprocess(4, seed=11)`` (positionally every earlier argument
+        must be spelled out; ``1``/``0`` stand in for the booleans).
+    kernel:
+        Kernel-tier spec threaded into the inner backend (see
+        :mod:`repro.core.nativekernels`): ``multiprocess(4, kernel=numba)``
+        forces the numba tier inside every worker; the default ``auto``
+        lets each shard pick its tier and dense/sparse kernel adaptively.
     """
 
     name = "multiprocess"
@@ -436,13 +442,18 @@ class MultiprocessBackend(ExecutionBackend):
                  start_method: Optional[str] = None,
                  max_idle: int = 2,
                  use_shared_memory: bool = True,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 kernel: str = "auto") -> None:
         if n_workers is not None and int(n_workers) < 1:
             raise ValueError("n_workers must be >= 1")
         if int(max_idle) < 0:
             raise ValueError("max_idle must be >= 0")
         self.n_workers = int(n_workers) if n_workers is not None else None
-        self.inner_name = str(inner)
+        self.kernel_spec = str(kernel)
+        parse_kernel_spec(self.kernel_spec)  # fail fast on typos
+        # The composed spec is a plain string, so it ships to pool workers
+        # through the initializer args unchanged.
+        self.inner_name = compose_kernel_spec(str(inner), self.kernel_spec)
         self.n_shards = int(n_shards) if n_shards is not None else None
         self.start_method = start_method
         self.max_idle = int(max_idle)
@@ -462,6 +473,10 @@ class MultiprocessBackend(ExecutionBackend):
     @property
     def supports_unicomp(self) -> bool:  # type: ignore[override]
         return self.inner.supports_unicomp
+
+    def kernel_tier(self) -> str:
+        """The inner backend's resolved kernel tier (what workers run)."""
+        return self.inner.kernel_tier()
 
     # -------------------------------------------------------------- plumbing
     def _resolved_workers(self) -> int:

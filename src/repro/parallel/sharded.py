@@ -26,7 +26,10 @@ Registered as ``sharded``; parameterized lookups configure it:
 ``sharded(7)`` uses seven shards, ``sharded(4, cellwise)`` runs the
 cellwise reference under a four-shard decomposition, and
 ``sharded(4, vectorized, 11)`` pins the cost-sampling seed so shard plans
-are reproducible from one knob.
+are reproducible from one knob.  ``sharded(4, kernel=numba)`` forces the
+inner backend's kernel tier (see :mod:`repro.core.nativekernels`); with
+the default ``kernel=auto`` the tiered inner backend picks the dense or
+sparse kernel *per shard* from that shard's cell populations.
 """
 
 from __future__ import annotations
@@ -42,8 +45,10 @@ from repro.core.batching import (
 from repro.core.gridindex import SubsetIndex
 from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelStats
 from repro.core.result import PairFragments
+from repro.core.nativekernels import parse_kernel_spec
 from repro.engine.backends import (
     ExecutionBackend,
+    compose_kernel_spec,
     get_backend,
     register_backend,
     _probe_rows,
@@ -61,11 +66,14 @@ class ShardedBackend(ExecutionBackend):
     supports_streaming = True
 
     def __init__(self, n_shards: Optional[int] = None,
-                 inner: str = "vectorized", seed: int = 0) -> None:
+                 inner: str = "vectorized", seed: int = 0,
+                 kernel: str = "auto") -> None:
         if n_shards is not None and int(n_shards) < 1:
             raise ValueError("n_shards must be >= 1")
         self.n_shards = int(n_shards) if n_shards is not None else None
-        self.inner_name = str(inner)
+        self.kernel_spec = str(kernel)
+        parse_kernel_spec(self.kernel_spec)  # fail fast on typos
+        self.inner_name = compose_kernel_spec(str(inner), self.kernel_spec)
         self.seed = int(seed)
 
     @property
@@ -76,6 +84,10 @@ class ShardedBackend(ExecutionBackend):
     @property
     def supports_unicomp(self) -> bool:  # type: ignore[override]
         return self.inner.supports_unicomp
+
+    def kernel_tier(self) -> str:
+        """The inner backend's resolved kernel tier (what each shard runs)."""
+        return self.inner.kernel_tier()
 
     def _resolved_shards(self) -> int:
         return self.n_shards or default_worker_count()

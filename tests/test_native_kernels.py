@@ -1,0 +1,481 @@
+"""Kernel-tier tests: native-kernel parity, fallback, and adaptive selection.
+
+The native kernel bodies of :mod:`repro.core.nativekernels` are written in
+the Numba nopython subset but remain callable uncompiled, so their *logic*
+is property-tested against the NumPy tier on every host; the
+``@pytest.mark.skipif``-gated classes additionally run the compiled tier
+end-to-end (all backends, the streamed store path) where numba is
+installed.  A forced-fallback test monkeypatches numba away and asserts
+the ``numpy`` tier is selected with a clear availability message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import nativekernels as nk
+from repro.core.batching import estimate_cell_costs, estimate_cell_stats
+from repro.core.gridindex import GridIndex
+from repro.core.kernels import (
+    DEFAULT_MAX_CANDIDATE_PAIRS,
+    KernelStats,
+    selfjoin_global_vectorized,
+    selfjoin_tiered,
+    selfjoin_unicomp_vectorized,
+)
+from repro.core.result import NeighborTable, PairFragments
+from repro.core.selector import estimate_join_work
+from repro.core.selfjoin import GPUSelfJoin, SelfJoinConfig
+from repro.data.synthetic import uniform_dataset
+from repro.engine import EngineSession, Query, run_query
+from repro.engine.backends import (
+    _parse_backend_name,
+    _tiered_probe,
+    _vectorized_probe,
+    compose_kernel_spec,
+    get_backend,
+)
+from repro.experiments.runner import engine_backend_of
+
+HAS_NUMBA = nk.numba_availability() is None
+
+coordinate = st.floats(min_value=-20.0, max_value=20.0,
+                       allow_nan=False, allow_infinity=False, width=64)
+
+
+def point_sets(min_points=1, max_points=40, min_dims=2, max_dims=6):
+    """Strategy producing (n_points, n_dims) float64 arrays."""
+    return st.integers(min_dims, max_dims).flatmap(
+        lambda dims: hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(min_points, max_points), st.just(dims)),
+            elements=coordinate,
+        )
+    )
+
+
+def _assert_bit_identical(num_rows, got, ref) -> None:
+    """Same pairs AND same CSR arrays after the canonical sort."""
+    gk, gv = got
+    rk, rv = ref
+    t_got = NeighborTable.from_pairs(np.asarray(gk, dtype=np.int64),
+                                     np.asarray(gv, dtype=np.int64), num_rows)
+    t_ref = NeighborTable.from_pairs(np.asarray(rk, dtype=np.int64),
+                                     np.asarray(rv, dtype=np.int64), num_rows)
+    np.testing.assert_array_equal(t_got.offsets, t_ref.offsets)
+    np.testing.assert_array_equal(t_got.neighbors, t_ref.neighbors)
+
+
+def mixed_density_points(seed: int = 3) -> np.ndarray:
+    """A tight dense cluster plus a sparse uniform field (2-D).
+
+    With ``eps = 1`` the cluster's cells hold dozens of points (dense
+    regime) while the field's cells hold about one (sparse regime), so a
+    sharded run over the whole dataset must route shards to both kernels.
+    """
+    rng = np.random.default_rng(seed)
+    cluster = rng.normal(50.0, 0.6, size=(600, 2))
+    field = rng.uniform(0.0, 100.0, size=(300, 2))
+    return np.concatenate([cluster, field])
+
+
+# --------------------------------------------------------------------------
+# native kernel bodies vs the NumPy tier (pure Python, runs without numba)
+# --------------------------------------------------------------------------
+class TestNativeKernelBodyParity:
+    """The uncompiled kernel bodies emit exactly the NumPy tier's pairs."""
+
+    @pytest.mark.parametrize("choice", ["dense", "sparse"])
+    @pytest.mark.parametrize("unicomp", [False, True])
+    @given(points=point_sets(), eps=st.floats(min_value=0.3, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_selfjoin_parity(self, points, eps, unicomp, choice):
+        index = GridIndex.build(points, eps)
+        kernel_fn = selfjoin_unicomp_vectorized if unicomp \
+            else selfjoin_global_vectorized
+        impl = {"dense": nk._pairs_dense_impl,
+                "sparse": nk._pairs_sparse_impl}[choice]
+        ref = kernel_fn(index, eps)
+        got = kernel_fn(index, eps, native_kernel=impl)
+        assert got.stats.result_pairs == ref.stats.result_pairs
+        assert got.stats.distance_calcs == ref.stats.distance_calcs
+        _assert_bit_identical(index.num_points,
+                              (got.result.keys, got.result.values),
+                              (ref.result.keys, ref.result.values))
+
+    @pytest.mark.parametrize("choice", ["dense", "sparse"])
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5, 6])
+    def test_probe_parity(self, dims, choice):
+        rng = np.random.default_rng(40 + dims)
+        data = rng.uniform(0, 6.0, (150, dims))
+        queries = rng.uniform(0, 6.0, (80, dims))
+        eps = 1.1
+        index = GridIndex.build(data, eps)
+        ref_sink = PairFragments(queries.shape[0])
+        _vectorized_probe(queries, index, eps, ref_sink, None,
+                          DEFAULT_MAX_CANDIDATE_PAIRS)
+        impl = {"dense": nk._pairs_dense_impl,
+                "sparse": nk._pairs_sparse_impl}[choice]
+        sink = PairFragments(queries.shape[0])
+        _vectorized_probe(queries, index, eps, sink, None,
+                          DEFAULT_MAX_CANDIDATE_PAIRS, native_kernel=impl)
+        _assert_bit_identical(queries.shape[0], sink.concatenated(),
+                              ref_sink.concatenated())
+
+    def test_small_chunk_bound_still_identical(self):
+        """Tiny max_candidate_pairs exercises the per-chunk buffer path."""
+        points = uniform_dataset(300, 2, seed=9, low=0.0, high=8.0)
+        eps = 1.0
+        index = GridIndex.build(points, eps)
+        ref = selfjoin_global_vectorized(index, eps)
+        for choice, impl in (("dense", nk._pairs_dense_impl),
+                             ("sparse", nk._pairs_sparse_impl)):
+            got = selfjoin_global_vectorized(index, eps,
+                                             max_candidate_pairs=64,
+                                             native_kernel=impl)
+            _assert_bit_identical(index.num_points,
+                                  (got.result.keys, got.result.values),
+                                  (ref.result.keys, ref.result.values))
+
+    def test_dense_tile_boundary(self):
+        """Cells larger than one tile exercise the dense kernel's tiling."""
+        rng = np.random.default_rng(11)
+        # ~200 points per cell: several DENSE_TILE_ROWS-sized tiles.
+        points = rng.uniform(0, 2.0, (800, 2))
+        eps = 1.0
+        index = GridIndex.build(points, eps)
+        assert int(index.cell_counts.max()) > nk.DENSE_TILE_ROWS
+        ref = selfjoin_global_vectorized(index, eps)
+        got = selfjoin_global_vectorized(index, eps,
+                                         native_kernel=nk._pairs_dense_impl)
+        _assert_bit_identical(index.num_points,
+                              (got.result.keys, got.result.values),
+                              (ref.result.keys, ref.result.values))
+
+
+class TestTieredDispatch:
+    """selfjoin_tiered routes/stamps correctly on the NumPy tier."""
+
+    @pytest.mark.parametrize("choice", ["dense", "sparse", "auto"])
+    @pytest.mark.parametrize("unicomp", [False, True])
+    def test_numpy_tier_routes_match_vectorized(self, unicomp, choice):
+        points = uniform_dataset(400, 3, seed=5, low=0.0, high=6.0)
+        eps = 1.0
+        index = GridIndex.build(points, eps)
+        kernel_fn = selfjoin_unicomp_vectorized if unicomp \
+            else selfjoin_global_vectorized
+        ref = kernel_fn(index, eps)
+        sink = PairFragments(index.num_points)
+        out = selfjoin_tiered(index, eps, sink=sink, unicomp=unicomp,
+                              tier="numpy", kernel=choice)
+        assert out.stats.tier == "numpy"
+        assert sum(out.stats.kernel_counts.values()) == 1
+        _assert_bit_identical(index.num_points, sink.concatenated(),
+                              (ref.result.keys, ref.result.values))
+
+    def test_tier_stamped_on_probe(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(0, 5.0, (200, 2))
+        queries = rng.uniform(0, 5.0, (60, 2))
+        sink = PairFragments(queries.shape[0])
+        stats = _tiered_probe(queries, GridIndex.build(data, 1.0), 1.0, sink,
+                              None, DEFAULT_MAX_CANDIDATE_PAIRS, "numpy",
+                              "auto")
+        assert stats.tier == "numpy"
+        assert sum(stats.kernel_counts.values()) == 1
+
+
+# --------------------------------------------------------------------------
+# tier registry and forced fallback
+# --------------------------------------------------------------------------
+class TestKernelTierRegistry:
+    def test_numpy_always_available(self):
+        assert nk.kernel_tier_availability()["numpy"] is None
+
+    def test_resolve_explicit_numpy(self):
+        assert nk.resolve_kernel_tier("numpy") == "numpy"
+
+    def test_resolve_unknown_tier_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            nk.resolve_kernel_tier("cuda")
+
+    def test_parse_kernel_spec(self):
+        assert nk.parse_kernel_spec("auto") == ("auto", "auto")
+        assert nk.parse_kernel_spec("numba") == ("numba", "auto")
+        assert nk.parse_kernel_spec("dense") == ("auto", "dense")
+        assert nk.parse_kernel_spec("numpy/sparse") == ("numpy", "sparse")
+        assert nk.parse_kernel_spec("auto/dense") == ("auto", "dense")
+        with pytest.raises(ValueError, match="unknown kernel spec token"):
+            nk.parse_kernel_spec("fast")
+
+    def test_forced_fallback_selects_numpy_with_clear_message(self, monkeypatch):
+        """With numba 'absent', auto resolves to numpy and says why."""
+        monkeypatch.setattr(nk, "_FORCED_UNAVAILABLE",
+                            "kernel tier 'numba' is unavailable (requires "
+                            "numba): No module named 'numba'; the pure-NumPy "
+                            "tier is used instead")
+        availability = nk.kernel_tier_availability()
+        assert availability["numpy"] is None
+        assert "requires numba" in availability["numba"]
+        assert "pure-NumPy tier" in availability["numba"]
+        assert nk.resolve_kernel_tier("auto") == "numpy"
+        with pytest.raises(nk.KernelTierUnavailableError,
+                           match="requires numba"):
+            nk.resolve_kernel_tier("numba")
+
+    def test_forced_fallback_end_to_end(self, monkeypatch):
+        """A join under forced fallback runs and reports the numpy tier."""
+        monkeypatch.setattr(nk, "_FORCED_UNAVAILABLE", "forced by test")
+        points = uniform_dataset(250, 2, seed=1)
+        result = run_query(Query.self_join(points, 4.0), backend="vectorized")
+        assert result.stats.tier == "numpy"
+        assert result.fragments.num_pairs > 0
+
+    def test_explicit_numba_spec_fails_clearly_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(nk, "_FORCED_UNAVAILABLE", "forced by test")
+        points = uniform_dataset(100, 2, seed=1)
+        with pytest.raises(nk.KernelTierUnavailableError, match="forced"):
+            run_query(Query.self_join(points, 4.0),
+                      backend="vectorized(kernel=numba)")
+
+    def test_warm_jit_cache_noop_without_numba(self, monkeypatch):
+        monkeypatch.setattr(nk, "_FORCED_UNAVAILABLE", "forced by test")
+        assert nk.warm_jit_cache() is False
+
+
+# --------------------------------------------------------------------------
+# adaptive per-shard selection
+# --------------------------------------------------------------------------
+class TestAdaptiveSelection:
+    def test_choose_kernel_by_density(self):
+        dense = GridIndex.build(np.random.default_rng(0).uniform(
+            0, 2.0, (400, 2)), 1.0)
+        assert float(dense.cell_counts.mean()) >= \
+            nk.DENSE_POINTS_PER_CELL_THRESHOLD
+        assert nk.choose_selfjoin_kernel(
+            dense, None, DEFAULT_MAX_CANDIDATE_PAIRS) == "dense"
+        sparse = GridIndex.build(uniform_dataset(300, 2, seed=0), 1.0)
+        assert nk.choose_selfjoin_kernel(
+            sparse, None, DEFAULT_MAX_CANDIDATE_PAIRS) == "sparse"
+
+    def test_memory_guard_forces_sparse(self):
+        """A huge cell must not route to the matrix-materializing dense path."""
+        index = GridIndex.build(np.random.default_rng(0).uniform(
+            0, 0.9, (200, 2)), 1.0)  # everything in one cell
+        assert nk.choose_selfjoin_kernel(index, None, 10_000) == "sparse"
+        assert nk.choose_selfjoin_kernel(
+            index, None, DEFAULT_MAX_CANDIDATE_PAIRS) == "dense"
+
+    def test_choice_respects_cell_subset(self):
+        """The per-shard decision reads the shard's cells, not the grid."""
+        points = mixed_density_points()
+        index = GridIndex.build(points, 1.0)
+        counts = index.cell_counts
+        dense_cells = np.flatnonzero(
+            counts >= nk.DENSE_POINTS_PER_CELL_THRESHOLD)
+        sparse_cells = np.flatnonzero(counts <= 2)
+        assert dense_cells.size and sparse_cells.size
+        assert nk.choose_selfjoin_kernel(
+            index, dense_cells, DEFAULT_MAX_CANDIDATE_PAIRS) == "dense"
+        assert nk.choose_selfjoin_kernel(
+            index, sparse_cells, DEFAULT_MAX_CANDIDATE_PAIRS) == "sparse"
+
+    def test_mixed_density_routes_shards_to_both_kernels(self):
+        """Acceptance: a sharded run uses each kernel on at least one shard."""
+        points = mixed_density_points()
+        result = run_query(Query.self_join(points, 1.0, unicomp=True),
+                           backend="sharded(6)")
+        assert result.stats.kernel_counts.get("dense", 0) >= 1
+        assert result.stats.kernel_counts.get("sparse", 0) >= 1
+        assert result.stats.tier in ("numpy", "numba")
+        # Pair-identical to the unsharded single-kernel run.
+        ref = run_query(Query.self_join(points, 1.0, unicomp=True),
+                        backend="vectorized(kernel=sparse)")
+        got_k, got_v = result.pairs()
+        ref_k, ref_v = ref.pairs()
+        _assert_bit_identical(points.shape[0], (got_k, got_v), (ref_k, ref_v))
+
+    def test_work_estimate_recommends_kernel(self):
+        dense = GridIndex.build(np.random.default_rng(0).uniform(
+            0, 2.0, (400, 2)), 1.0)
+        est = estimate_join_work(dense)
+        assert est.avg_points_per_cell >= nk.DENSE_POINTS_PER_CELL_THRESHOLD
+        assert est.max_points_per_cell >= est.avg_points_per_cell
+        assert est.recommended_kernel == "dense"
+        sparse_est = estimate_join_work(
+            GridIndex.build(uniform_dataset(300, 2, seed=0), 1.0))
+        assert sparse_est.recommended_kernel == "sparse"
+
+    def test_estimate_cell_stats_exposes_density(self):
+        index = GridIndex.build(mixed_density_points(), 1.0)
+        stats = estimate_cell_stats(index, seed=0)
+        np.testing.assert_allclose(stats.costs, estimate_cell_costs(index))
+        assert stats.candidate_density.shape == (index.num_nonempty_cells,)
+        assert stats.mean_points_per_cell == pytest.approx(
+            float(index.cell_counts.mean()))
+        assert stats.max_points_per_cell == int(index.cell_counts.max())
+
+
+# --------------------------------------------------------------------------
+# stats, reports and spec plumbing
+# --------------------------------------------------------------------------
+class TestStatsAndSpecs:
+    def test_kernel_stats_tier_merge(self):
+        acc = KernelStats()
+        acc.merge(KernelStats(tier="numba", kernel_counts={"dense": 2}))
+        assert acc.tier == "numba"
+        acc.merge(KernelStats(tier="numba", kernel_counts={"sparse": 1}))
+        assert acc.tier == "numba"
+        assert acc.kernel_counts == {"dense": 2, "sparse": 1}
+        acc.merge(KernelStats(tier="numpy"))
+        assert acc.tier == "numba+numpy"
+        acc.merge(KernelStats())  # tierless stats never corrupt the label
+        assert acc.tier == "numba+numpy"
+
+    def test_join_report_records_tier(self):
+        points = uniform_dataset(300, 2, seed=4)
+        _, report = GPUSelfJoin().join_with_report(points, 4.0)
+        assert report.kernel_tier in ("numpy", "numba")
+        assert report.kernel_stats.tier == report.kernel_tier
+
+    def test_selfjoin_config_accepts_kernel_spec(self):
+        cfg = SelfJoinConfig(kernel="vectorized(kernel=sparse)")
+        assert cfg.kernel == "vectorized(kernel=sparse)"
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            SelfJoinConfig(kernel="bogus(kernel=numba)")
+
+    def test_parse_backend_name_kwargs(self):
+        assert _parse_backend_name("sharded(4, kernel=numba)") == \
+            ("sharded", (4,), {"kernel": "numba"})
+        assert _parse_backend_name("vectorized(kernel=numpy/dense)") == \
+            ("vectorized", (), {"kernel": "numpy/dense"})
+        assert _parse_backend_name("multiprocess(2)") == \
+            ("multiprocess", (2,), {})
+        with pytest.raises(KeyError, match="follows a keyword"):
+            _parse_backend_name("sharded(kernel=numba, 4)")
+
+    def test_compose_kernel_spec(self):
+        assert compose_kernel_spec("vectorized", "auto") == "vectorized"
+        assert compose_kernel_spec("vectorized", "numba") == \
+            "vectorized(kernel=numba)"
+        assert compose_kernel_spec("sharded(4)", "sparse") == \
+            "sharded(4, kernel=sparse)"
+
+    def test_sharded_composes_kernel_into_inner(self):
+        backend = get_backend("sharded(2, kernel=sparse)")
+        assert backend.inner_name == "vectorized(kernel=sparse)"
+        assert backend.kernel_tier() == "numpy"
+
+    def test_multiprocess_composes_kernel_into_inner(self):
+        from repro.parallel.mp import MultiprocessBackend
+
+        backend = MultiprocessBackend(n_workers=1, kernel="sparse")
+        assert backend.inner_name == "vectorized(kernel=sparse)"
+        assert backend.kernel_tier() == "numpy"
+
+    def test_bad_kernel_spec_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown kernel spec token"):
+            get_backend("sharded(2, kernel=warp)")
+
+    def test_default_backend_tier_is_numpy(self):
+        assert get_backend("cellwise").kernel_tier() == "numpy"
+        assert get_backend("pointwise").kernel_tier() == "numpy"
+
+    def test_engine_label_kernel_suffix(self):
+        assert engine_backend_of("Engine[sharded/numba]") == \
+            "sharded(kernel=numba)"
+        assert engine_backend_of("Engine[sharded(4)/numba]") == \
+            "sharded(4, kernel=numba)"
+        assert engine_backend_of("Engine[vectorized/numpy/dense]") == \
+            "vectorized(kernel=numpy/dense)"
+        assert engine_backend_of("Engine[vectorized]") == "vectorized"
+        assert engine_backend_of("GPU: unicomp") is None
+
+    def test_engine_label_runs_end_to_end(self):
+        points = uniform_dataset(200, 2, seed=8)
+        backend = engine_backend_of("Engine[sharded(2)/numpy]")
+        result = run_query(Query.self_join(points, 4.0), backend=backend)
+        assert result.stats.tier == "numpy"
+        assert result.fragments.num_pairs > 0
+
+    def test_session_open_with_tiered_backend(self):
+        points = uniform_dataset(150, 2, seed=6)
+        with EngineSession(points, backend="vectorized") as session:
+            report = session.self_join(4.0)
+            assert report.stats.tier in ("numpy", "numba")
+
+
+# --------------------------------------------------------------------------
+# compiled tier (requires numba)
+# --------------------------------------------------------------------------
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestNumbaTierParity:
+    """Full parity matrix on the compiled tier (numba hosts / CI job only)."""
+
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("unicomp", [False, True])
+    def test_vectorized_backend_parity(self, dims, unicomp):
+        points = uniform_dataset({2: 240, 3: 200, 4: 150, 5: 100,
+                                  6: 80}[dims], dims, seed=20 + dims,
+                                 low=0.0, high=4.0)
+        eps = {2: 0.9, 3: 1.0, 4: 1.2, 5: 1.4, 6: 1.6}[dims]
+        ref = run_query(Query.self_join(points, eps, unicomp=unicomp),
+                        backend="vectorized(kernel=numpy)")
+        got = run_query(Query.self_join(points, eps, unicomp=unicomp),
+                        backend="vectorized(kernel=numba)")
+        assert ref.stats.tier == "numpy"
+        assert got.stats.tier == "numba"
+        _assert_bit_identical(points.shape[0], got.pairs(), ref.pairs())
+
+    @pytest.mark.parametrize("backend", ["sharded(3, kernel={})",
+                                         "multiprocess(2, kernel={})"])
+    def test_parallel_backend_parity(self, backend):
+        points = mixed_density_points(seed=9)
+        ref = run_query(Query.self_join(points, 1.0, unicomp=True),
+                        backend=backend.format("numpy"))
+        got = run_query(Query.self_join(points, 1.0, unicomp=True),
+                        backend=backend.format("numba"))
+        assert got.stats.tier == "numba"
+        _assert_bit_identical(points.shape[0], got.pairs(), ref.pairs())
+
+    def test_streamed_store_parity(self, tmp_path):
+        from repro.data.store import SpatialStore
+
+        points = uniform_dataset(300, 3, seed=13, low=0.0, high=4.0)
+        eps = 1.0
+        store = SpatialStore.write(points, tmp_path / "store",
+                                   cell_width=eps / 2.5)
+        results = {}
+        for tier in ("numpy", "numba"):
+            sink = PairFragments(store.n_points)
+            stats = get_backend(f"sharded(4, kernel={tier})") \
+                .run_selfjoin_streamed(store, eps, sink)
+            assert stats.tier == tier
+            results[tier] = sink.concatenated()
+        _assert_bit_identical(store.n_points, results["numba"],
+                              results["numpy"])
+
+    def test_probe_query_parity(self):
+        rng = np.random.default_rng(17)
+        data = rng.uniform(0, 6.0, (400, 3))
+        queries = rng.uniform(0, 6.0, (150, 3))
+        ref = run_query(Query.bipartite_join(queries, data, 1.0),
+                        backend="vectorized(kernel=numpy)")
+        got = run_query(Query.bipartite_join(queries, data, 1.0),
+                        backend="vectorized(kernel=numba)")
+        _assert_bit_identical(queries.shape[0], got.pairs(), ref.pairs())
+
+    def test_session_warms_jit_cache_once(self):
+        points = uniform_dataset(120, 2, seed=2)
+        with EngineSession(points, backend="vectorized") as session:
+            assert session.backend.kernel_tier() == "numba"
+            assert nk._warmed is True
+            report = session.self_join(4.0)
+            assert report.stats.tier == "numba"
+
+    def test_explicit_numba_spec_resolves(self):
+        assert nk.resolve_kernel_tier("numba") == "numba"
+        assert nk.numba_version() is not None
