@@ -1,0 +1,146 @@
+"""Load-generator benchmark of the query service.
+
+Open-loop load: for each target qps, client threads issue single-point
+range queries (plus a kNN sprinkle) at Poisson-ish fixed spacing for a
+fixed duration, without waiting for earlier responses to schedule later
+sends — so server-side queueing shows up as latency rather than silently
+throttling the offered load.  Reported per qps level: achieved throughput,
+p50/p99 latency, the fusion ratio (fraction of point queries the scheduler
+fused into shared batches) and the rejection rate of the bounded admission
+queue.
+
+``REPRO_BENCH_SERVICE_SECONDS`` overrides the per-level duration (default
+2 s; CI smoke uses ~0.7 s).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_points
+from repro.service import (
+    ServerThread,
+    ServiceClient,
+    ServiceRejected,
+    ServiceTimeout,
+)
+
+QPS_LEVELS = (100, 400, 1600)
+
+
+def _percentile(samples, q):
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+def _run_level(server, queries, eps, k, qps, duration, n_threads=8):
+    """Offer ``qps`` for ``duration`` seconds; return latency/outcome stats."""
+    latencies: list = []
+    rejected = [0]
+    timeouts = [0]
+    lock = threading.Lock()
+    stop_at = time.monotonic() + duration
+    interval = n_threads / qps  # per-thread send spacing
+
+    def worker(wid):
+        rng = np.random.default_rng(wid)
+        with ServiceClient(server.host, server.port) as client:
+            next_send = time.monotonic() + rng.uniform(0, interval)
+            while True:
+                now = time.monotonic()
+                if now >= stop_at:
+                    return
+                if now < next_send:
+                    time.sleep(min(next_send - now, 0.005))
+                    continue
+                next_send += interval  # open loop: schedule, don't adapt
+                i = int(rng.integers(0, queries.shape[0]))
+                t0 = time.monotonic()
+                try:
+                    if i % 10 == 0:
+                        client.knn("bench", queries[i:i + 1], k)
+                    else:
+                        client.range_query("bench", queries[i:i + 1], eps)
+                    sample = time.monotonic() - t0
+                    with lock:
+                        latencies.append(sample)
+                except ServiceRejected:
+                    with lock:
+                        rejected[0] += 1
+                except ServiceTimeout:
+                    with lock:
+                        timeouts[0] += 1
+
+    threads = [threading.Thread(target=worker, args=(w,))
+               for w in range(n_threads)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - start
+    total = len(latencies) + rejected[0] + timeouts[0]
+    return {
+        "offered_qps": qps,
+        "achieved_qps": len(latencies) / elapsed if elapsed else 0.0,
+        "p50_ms": _percentile(latencies, 50) * 1e3,
+        "p99_ms": _percentile(latencies, 99) * 1e3,
+        "completed": len(latencies),
+        "rejection_rate": rejected[0] / total if total else 0.0,
+        "timeouts": timeouts[0],
+    }
+
+
+def test_bench_service_load(write_report):
+    duration = float(os.environ.get("REPRO_BENCH_SERVICE_SECONDS", "2.0"))
+    n = bench_points(20000)
+    rng = np.random.default_rng(0)
+    points = rng.random((n, 3))
+    queries = rng.random((256, 3))
+    eps, k = 0.08, 4
+
+    lines = [
+        "Query service load generation (single-point range + kNN mix)",
+        f"dataset: {n} uniform points in 3-d, eps={eps}, k={k}, "
+        f"{duration:.1f}s per level",
+        "",
+        f"{'offered qps':>12} {'achieved':>9} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'fusion':>7} {'rejected':>9}",
+    ]
+    with ServerThread(tick_seconds=0.002, max_pending=256,
+                      workers=4) as server:
+        with ServiceClient(server.host, server.port) as admin:
+            admin.register("bench", points)
+        fused_before = 0
+        point_before = 0
+        for qps in QPS_LEVELS:
+            stats = _run_level(server, queries, eps, k, qps, duration)
+            with ServiceClient(server.host, server.port) as admin:
+                service = admin.stats()["service"]
+            fused = service["fused_queries"] - fused_before
+            point = service["point_queries"] - point_before
+            fused_before = service["fused_queries"]
+            point_before = service["point_queries"]
+            fusion_ratio = fused / point if point else 0.0
+            lines.append(
+                f"{stats['offered_qps']:>12} {stats['achieved_qps']:>9.0f} "
+                f"{stats['p50_ms']:>8.2f} {stats['p99_ms']:>8.2f} "
+                f"{fusion_ratio:>7.2f} {stats['rejection_rate']:>9.3f}")
+            assert stats["completed"] > 0
+        with ServiceClient(server.host, server.port) as admin:
+            service = admin.stats()["service"]
+        lines += [
+            "",
+            f"totals: {service['requests_total']} requests, "
+            f"{service['fused_queries']}/{service['point_queries']} point "
+            f"queries fused ({service['fusion_ratio']:.2f}), "
+            f"{service['fusion_batches']} fused batches "
+            f"(max {service['max_fused_in_tick']} in one tick), "
+            f"{service['rejected']} rejected, {service['timeouts']} timeouts",
+        ]
+    report = "\n".join(lines)
+    write_report("service", report)
+    print("\n" + report)

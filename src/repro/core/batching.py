@@ -37,6 +37,7 @@ from repro.core.neighbors import all_neighbor_offsets
 from repro.core.result import ResultSet
 from repro.gpusim.device import Device
 from repro.gpusim.streams import PipelineReport, simulate_pipeline
+from repro.utils.cancellation import check_cancelled
 from repro.utils.timing import Timer
 
 #: Bytes per result pair: two int64 ids (key and value), as in the paper's
@@ -427,6 +428,9 @@ def run_adaptive_batches(batches: List[np.ndarray], run_batch,
     batch_times: List[float] = []
     splits = 0
     while pending:
+        # Cancellation checkpoint: a deadline-cancelled request stops between
+        # batches instead of grinding through the remaining ones.
+        check_cancelled()
         batch = pending.pop(0)
         with Timer() as timer:
             pairs, payload = run_batch(batch)

@@ -71,6 +71,7 @@ from repro.core.neighbors import (
     mask_filter_ranges,
 )
 from repro.core.result import PairFragments
+from repro.utils.cancellation import check_cancelled
 
 
 class ExecutionBackend(abc.ABC):
@@ -446,6 +447,9 @@ def _vectorized_probe(queries: np.ndarray, index: GridIndex, eps: float,
     before = sink.num_pairs
     offsets = all_neighbor_offsets(index.num_dims, include_home=True)
     for offset in offsets:
+        # Cancellation checkpoint: in high dimensionality the 3^n offsets
+        # dominate runtime, so a deadline stops between offsets.
+        check_cancelled()
         neighbor = group_coords + offset[None, :]
         inside = np.all((neighbor >= 0) & (neighbor < index.num_cells[None, :]),
                         axis=1)

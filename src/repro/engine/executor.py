@@ -37,6 +37,7 @@ from repro.core.result import NeighborTable, PairFragments, ResultSet
 from repro.engine import query as Q
 from repro.engine.planner import QueryPlan
 from repro.gpusim.streams import simulate_pipeline
+from repro.utils.cancellation import check_cancelled
 from repro.utils.timing import Timer
 
 #: Rounds of radius doubling before the kNN candidate search falls back to
@@ -107,6 +108,7 @@ class EngineResult:
 def execute(plan: QueryPlan) -> EngineResult:
     """Run a plan on its backend and return the (lazy) result."""
     kind = plan.query.kind
+    check_cancelled()
     with Timer() as timer:
         if kind == Q.SELF_JOIN:
             result = _execute_self_join(plan)
@@ -245,6 +247,9 @@ def _execute_knn_candidates(plan: QueryPlan) -> EngineResult:
     remaining = np.arange(n_q, dtype=np.int64)
 
     for _ in range(MAX_KNN_ROUNDS):
+        # Cancellation checkpoint: each doubling round re-probes (and may
+        # rebuild an index), so a deadline stops the search between rounds.
+        check_cancelled()
         round_sink = PairFragments(n_q)
         stats.merge(plan.backend.run_probe(
             queries, index, radius, round_sink, rows=remaining,

@@ -47,6 +47,7 @@ was parked, so a stale snapshot is discarded rather than revived.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
@@ -133,6 +134,11 @@ class EngineSession:
         self.stats = SessionStats()
         self._indexes = OrderedDict()
         self._open = False
+        # Guards the index cache, lazy materialization, lifecycle state and
+        # stat counters: the query service runs one session from several
+        # worker threads at once.  Reentrant because open() nests inside
+        # run() and index_for() touches self.points.
+        self._lock = threading.RLock()
 
     @property
     def points(self) -> np.ndarray:
@@ -143,9 +149,10 @@ class EngineSession:
         materializes the dataset in original row order — streamed self-joins
         never touch this property, which is what keeps them out-of-core.
         """
-        if self._points is None:
-            self._points = self.source.as_array()
-        return self._points
+        with self._lock:
+            if self._points is None:
+                self._points = self.source.as_array()
+            return self._points
 
     @property
     def streams_self_joins(self) -> bool:
@@ -176,11 +183,12 @@ class EngineSession:
         warmed here — once, at attach time — so compilation never lands
         inside the first timed query of the session.
         """
-        if not self._open:
-            self.backend.attach(self)
-            if self.backend.kernel_tier() == "numba":
-                nativekernels.warm_jit_cache()
-            self._open = True
+        with self._lock:
+            if not self._open:
+                self.backend.attach(self)
+                if self.backend.kernel_tier() == "numba":
+                    nativekernels.warm_jit_cache()
+                self._open = True
         return self
 
     def close(self) -> None:
@@ -190,10 +198,11 @@ class EngineSession:
         an idle backend pool for the same dataset identity may be revived
         (see ``max_idle`` on :class:`repro.parallel.mp.MultiprocessBackend`).
         """
-        if self._open:
-            self._open = False
-            self.backend.detach(self)
-        self._indexes.clear()
+        with self._lock:
+            if self._open:
+                self._open = False
+                self.backend.detach(self)
+            self._indexes.clear()
 
     def __enter__(self) -> "EngineSession":
         return self.open()
@@ -216,24 +225,26 @@ class EngineSession:
         queries hit the cache on every doubling round.
         """
         key = check_eps(eps)
-        index = self._indexes.get(key)
-        if index is not None:
-            self._indexes.move_to_end(key)
-            self.stats.index_hits += 1
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                self._indexes.move_to_end(key)
+                self.stats.index_hits += 1
+                return index
+            index = GridIndex.build(self.points, key)
+            if self.planner.validate_index:
+                index.validate()
+            self.stats.index_misses += 1
+            self._indexes[key] = index
+            while len(self._indexes) > self.max_cached_indexes:
+                self._indexes.popitem(last=False)
             return index
-        index = GridIndex.build(self.points, key)
-        if self.planner.validate_index:
-            index.validate()
-        self.stats.index_misses += 1
-        self._indexes[key] = index
-        while len(self._indexes) > self.max_cached_indexes:
-            self._indexes.popitem(last=False)
-        return index
 
     @property
     def cached_eps(self) -> Tuple[float, ...]:
         """ε values currently held in the index cache (LRU order)."""
-        return tuple(self._indexes)
+        with self._lock:
+            return tuple(self._indexes)
 
     def require_points(self, query: Query) -> None:
         """Reject queries whose indexed side is not the session dataset.
@@ -272,7 +283,8 @@ class EngineSession:
         index through :meth:`index_for` instead of rebuilding it.
         """
         self.open()
-        self.stats.queries_run += 1
+        with self._lock:
+            self.stats.queries_run += 1
         return execute(self.planner.plan(query, index=index, session=self))
 
     def self_join(self, eps: float, *, unicomp: bool = True,

@@ -54,6 +54,7 @@ from repro.engine.backends import (
     _probe_rows,
 )
 from repro.parallel.shards import ShardPlanner, default_worker_count, merge_fragments
+from repro.utils.cancellation import check_cancelled
 
 
 @register_backend
@@ -102,6 +103,9 @@ class ShardedBackend(ExecutionBackend):
         stats = KernelStats()
         parts = []
         for shard in plan.shards:
+            # Cancellation checkpoint: a deadline-cancelled request stops
+            # within one shard's worth of work.
+            check_cancelled()
             part = PairFragments(index.num_points)
             stats.merge(inner.run_selfjoin(
                 index, eps, shard, part, unicomp=unicomp,
@@ -121,6 +125,7 @@ class ShardedBackend(ExecutionBackend):
         costs = estimate_probe_row_costs(queries[rows], index, seed=self.seed)
         parts = []
         for group in split_by_cost(costs, self._resolved_shards()):
+            check_cancelled()
             part = PairFragments(sink.num_rows)
             stats.merge(inner.run_probe(
                 queries, index, eps, part, rows=rows[group],
@@ -157,6 +162,9 @@ class ShardedBackend(ExecutionBackend):
         radius = source.halo_radius(eps)
         stats = KernelStats()
         for cells in slices:
+            # Cancellation checkpoint: stops a streamed join between disk
+            # shards (nothing result-sized to unwind past one shard).
+            check_cancelled()
             if cells.shape[0] == 0:
                 continue
             lo, hi = int(cells[0]), int(cells[-1]) + 1

@@ -1,0 +1,62 @@
+"""The query service: an asyncio front door over the session engine.
+
+The paper's setting is a hybrid CPU/GPU engine kept *resident* — dataset on
+the device, index built, pipeline warm — precisely so that many queries can
+amortize those one-time costs.  This package is the serving half of that
+story: a stdlib-only asyncio TCP server (:mod:`repro.service.server`) owns
+a catalog of named :class:`~repro.engine.session.EngineSession`s
+(:mod:`repro.service.catalog`), admits concurrent range / kNN / self-join /
+bipartite requests over a length-prefixed JSON + binary frame protocol
+(:mod:`repro.service.protocol`), and schedules them per tick
+(:mod:`repro.service.scheduler`):
+
+* bursts of single-point range/kNN queries against the same (dataset, ε)
+  **fuse** into one cost-balanced bipartite batch — the paper's sampled
+  work estimates, reused as an admission scheduler;
+* per-request **deadlines** cancel cooperatively, actually stopping shard
+  loops (:mod:`repro.utils.cancellation`), and a bounded admission queue
+  rejects overload with a structured response instead of melting down;
+* CSR results **stream** back in bounded chunk frames straight off the
+  per-shard sink path, so the server never materializes a full pair set.
+
+:class:`ServiceClient` (:mod:`repro.service.client`) is the synchronous
+client; ``python -m repro.service`` (or the ``repro-serve`` console script)
+runs a standalone server.
+"""
+
+from repro.service.catalog import DatasetNotRegistered, SessionCatalog
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceRejected,
+    ServiceTimeout,
+)
+from repro.service.protocol import (
+    STATUS_CHUNK,
+    STATUS_END,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    ProtocolError,
+)
+from repro.service.server import QueryService, ServerThread, ServiceStats
+
+__all__ = [
+    "DatasetNotRegistered",
+    "ProtocolError",
+    "QueryService",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRejected",
+    "ServiceStats",
+    "ServiceTimeout",
+    "SessionCatalog",
+    "STATUS_CHUNK",
+    "STATUS_END",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
+]

@@ -1,0 +1,246 @@
+"""Synchronous client for the query service.
+
+:class:`ServiceClient` speaks the frame protocol of
+:mod:`repro.service.protocol` over one blocking TCP connection and turns
+wire responses back into engine-native objects — streamed CSR chunk frames
+are collected and rebuilt into a :class:`~repro.core.result.NeighborTable`
+(whose construction sorts, so chunk arrival order is irrelevant), kNN
+responses into ``(indices, distances)`` arrays.  Structured failure
+statuses map onto exceptions: :class:`ServiceRejected` (admission queue
+full — back off and retry) and :class:`ServiceTimeout` (deadline expired
+server-side; the engine work was cooperatively cancelled).
+
+One client drives one connection and is not thread-safe; concurrency tests
+and the load generator open one client per worker thread, which also gives
+the server genuinely concurrent connections to serve.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.result import NeighborTable
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """A structured ``error`` response (or a protocol violation)."""
+
+
+class ServiceRejected(ServiceError):
+    """The admission queue was full; the request was never admitted."""
+
+
+class ServiceTimeout(ServiceError):
+    """The request's deadline expired server-side (work was cancelled)."""
+
+
+def _raise_for_status(status: str, header: dict) -> None:
+    message = header.get("message", "")
+    if status == protocol.STATUS_REJECTED:
+        raise ServiceRejected(message or "admission queue full")
+    if status == protocol.STATUS_TIMEOUT:
+        raise ServiceTimeout(message or "deadline expired")
+    raise ServiceError(message or f"service returned status {status!r}")
+
+
+class ServiceClient:
+    """Blocking client over one service connection (see module docstring)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0,
+                 max_payload: int = protocol.DEFAULT_MAX_PAYLOAD_BYTES) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._max_payload = max_payload
+
+    # ----------------------------------------------------------------- plumbing
+    def _send(self, header: dict, payload: bytes = b"") -> None:
+        self._sock.sendall(protocol.encode_frame(header, payload))
+
+    def _recv(self) -> Tuple[dict, bytes]:
+        frame = protocol.read_frame_sock(self._sock, self._max_payload)
+        if frame is None:
+            raise ServiceError("server closed the connection mid-request")
+        return frame
+
+    def _request(self, header: dict, payload: bytes = b"") -> Tuple[dict, bytes]:
+        """One request → one terminal response frame (non-streaming ops)."""
+        self._send(header, payload)
+        resp, body = self._recv()
+        status = resp.get("status")
+        if status != protocol.STATUS_OK:
+            _raise_for_status(status, resp)
+        if resp.get("streaming"):
+            raise ServiceError("unexpected streaming response; use the "
+                               "stream-collecting path")
+        return resp, body
+
+    def _request_streamed(self, header: dict, payload: bytes = b"",
+                          ) -> Tuple[dict, List[np.ndarray], List[np.ndarray]]:
+        """One request → opener + chunk frames + terminal ``end`` frame.
+
+        Returns the end frame's header plus the collected chunk arrays.
+        The opener may itself be terminal (``rejected`` / ``error``).
+        """
+        self._send(header, payload)
+        opener, _ = self._recv()
+        status = opener.get("status")
+        if status != protocol.STATUS_OK:
+            _raise_for_status(status, opener)
+        if not opener.get("streaming"):
+            raise ServiceError("expected a streaming response")
+        keys_parts: List[np.ndarray] = []
+        values_parts: List[np.ndarray] = []
+        while True:
+            resp, body = self._recv()
+            status = resp.get("status")
+            if status == protocol.STATUS_CHUNK:
+                arrays = protocol.unpack_arrays(resp.get("arrays", ()), body)
+                keys_parts.append(arrays["keys"])
+                values_parts.append(arrays["values"])
+                continue
+            if status == protocol.STATUS_END:
+                final = resp.get("final")
+                if final != protocol.STATUS_OK:
+                    _raise_for_status(final, resp)
+                return resp, keys_parts, values_parts
+            _raise_for_status(status, resp)
+
+    @staticmethod
+    def _table(end: dict, keys_parts: List[np.ndarray],
+               values_parts: List[np.ndarray]) -> NeighborTable:
+        keys = np.concatenate(keys_parts) if keys_parts \
+            else np.empty(0, dtype=np.int64)
+        values = np.concatenate(values_parts) if values_parts \
+            else np.empty(0, dtype=np.int64)
+        return NeighborTable.from_pairs(keys, values, int(end["num_rows"]))
+
+    @staticmethod
+    def _query_header(op: str, dataset: str, *, eps: Optional[float] = None,
+                      k: Optional[int] = None,
+                      timeout_ms: Optional[float] = None,
+                      fuse: bool = True, **extra) -> dict:
+        header = {"op": op, "dataset": dataset, "fuse": fuse, **extra}
+        if eps is not None:
+            header["eps"] = float(eps)
+        if k is not None:
+            header["k"] = int(k)
+        if timeout_ms is not None:
+            header["timeout_ms"] = float(timeout_ms)
+        return header
+
+    # ------------------------------------------------------------ control plane
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        resp, _ = self._request({"op": "ping"})
+        return bool(resp.get("pong"))
+
+    def stats(self) -> dict:
+        """The stats/health document (service counters, sessions, tiers)."""
+        resp, _ = self._request({"op": "stats"})
+        return resp["stats"]
+
+    def list_datasets(self) -> List[dict]:
+        """Descriptions of the datasets currently registered."""
+        resp, _ = self._request({"op": "list"})
+        return resp["datasets"]
+
+    def register(self, name: str, points: Optional[np.ndarray] = None, *,
+                 store_path: Optional[str] = None,
+                 backend: Optional[str] = None) -> dict:
+        """Register a dataset: ship ``points``, or name a server-side store.
+
+        With ``store_path`` the dataset never crosses the wire — the server
+        opens the :class:`~repro.data.store.SpatialStore` locally, and a
+        streaming backend keeps self-joins over it out-of-core end to end.
+        """
+        header = {"op": "register", "name": name}
+        payload = b""
+        if backend is not None:
+            header["backend"] = backend
+        if store_path is not None:
+            header["store_path"] = str(store_path)
+        elif points is not None:
+            pts = np.ascontiguousarray(points, dtype=np.float64)
+            header["arrays"], payload = protocol.pack_arrays([("points", pts)])
+        resp, _ = self._request(header, payload)
+        return resp["dataset"]
+
+    def evict(self, name: str) -> None:
+        """Close and drop a registered dataset."""
+        self._request({"op": "evict", "name": name})
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (it still acknowledges)."""
+        self._request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------ queries
+    def range_query(self, dataset: str, queries: np.ndarray, eps: float, *,
+                    timeout_ms: Optional[float] = None,
+                    fuse: bool = True) -> NeighborTable:
+        """ε-neighborhoods of ``queries`` over the named dataset (CSR)."""
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        meta, payload = protocol.pack_arrays([("points", queries)])
+        end, keys, values = self._request_streamed(
+            self._query_header("range_query", dataset, eps=eps,
+                               timeout_ms=timeout_ms, fuse=fuse, arrays=meta),
+            payload)
+        return self._table(end, keys, values)
+
+    def knn(self, dataset: str, queries: np.ndarray, k: int, *,
+            timeout_ms: Optional[float] = None,
+            fuse: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest neighbors: ``(indices, distances)`` arrays."""
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        meta, payload = protocol.pack_arrays([("points", queries)])
+        resp, body = self._request(
+            self._query_header("knn", dataset, k=k, timeout_ms=timeout_ms,
+                               fuse=fuse, arrays=meta),
+            payload)
+        arrays = protocol.unpack_arrays(resp.get("arrays", ()), body)
+        return arrays["indices"], arrays["distances"]
+
+    def self_join(self, dataset: str, eps: float, *, unicomp: bool = True,
+                  include_self: bool = True,
+                  timeout_ms: Optional[float] = None) -> NeighborTable:
+        """Self-join of the named dataset within ``eps`` (CSR)."""
+        end, keys, values = self._request_streamed(
+            self._query_header("self_join", dataset, eps=eps,
+                               timeout_ms=timeout_ms, unicomp=unicomp,
+                               include_self=include_self))
+        return self._table(end, keys, values)
+
+    def bipartite_join(self, dataset: str, left: np.ndarray, eps: float, *,
+                       timeout_ms: Optional[float] = None) -> NeighborTable:
+        """Join an external ``left`` set against the named dataset (CSR)."""
+        left = np.ascontiguousarray(left, dtype=np.float64)
+        meta, payload = protocol.pack_arrays([("points", left)])
+        end, keys, values = self._request_streamed(
+            self._query_header("bipartite_join", dataset, eps=eps,
+                               timeout_ms=timeout_ms, arrays=meta),
+            payload)
+        return self._table(end, keys, values)
+
+    def sleep(self, seconds: float, *,
+              timeout_ms: Optional[float] = None) -> dict:
+        """Occupy one worker for ``seconds`` (tests / load generation)."""
+        resp, _ = self._request(
+            self._query_header("_sleep", "", timeout_ms=timeout_ms,
+                               seconds=float(seconds)))
+        return resp
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

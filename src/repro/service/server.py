@@ -1,0 +1,548 @@
+"""The asyncio front door: admission queue, tick loop, response streaming.
+
+:class:`QueryService` is a stdlib-only asyncio TCP server in front of the
+engine.  Division of labor per request:
+
+* the **connection coroutine** decodes frames, answers control-plane ops
+  (ping / stats / register / evict / list / shutdown) inline, and admits
+  query ops to the bounded queue — a full queue answers ``REJECTED``
+  immediately (backpressure) instead of queueing unboundedly;
+* the **scheduler coroutine** drains the queue once per tick, fuses the
+  burst (:func:`repro.service.scheduler.plan_tick`) and dispatches each
+  work unit to a thread pool — engine operators are synchronous NumPy
+  loops, so they run off the loop with a :func:`cancel_scope` carrying the
+  request deadline (cooperative cancellation actually stops shard work);
+* streamed CSR results flow worker → loop through a :class:`ChunkStream`
+  whose bounded in-flight window gives end-to-end backpressure: a slow
+  client blocks the posting worker, never the server's memory.
+
+Wire semantics (one frame = JSON header + binary payload, see
+:mod:`repro.service.protocol`): a query op's first response frame is either
+``{"status": "rejected"}`` or ``{"status": "ok", "streaming": true}``;
+streamed results follow as ``chunk`` frames and finish with an ``end``
+frame whose ``final`` field is ``ok``/``timeout``/``error``.  Single-frame
+ops (kNN, control plane) answer with one ``ok``/``timeout``/``error``
+frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.nativekernels import kernel_tier_availability
+from repro.engine.backends import backend_availability
+from repro.service import protocol
+from repro.service.catalog import DatasetNotRegistered, SessionCatalog
+from repro.service.scheduler import (
+    DEFAULT_CHUNK_PAIRS,
+    Outcome,
+    PendingRequest,
+    QUERY_OPS,
+    STREAMING_OPS,
+    plan_tick,
+    run_work_unit,
+)
+from repro.utils.cancellation import CancellationToken, OperationCancelled
+
+#: Default burst-collection window of the scheduler tick (seconds).
+DEFAULT_TICK_SECONDS = 0.002
+#: Default bound on the admission queue (overload → REJECTED).
+DEFAULT_MAX_PENDING = 64
+#: Default size of the execution thread pool.
+DEFAULT_WORKERS = 4
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (thread-safe; engine counters live per session)."""
+
+    requests_total: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+    point_queries: int = 0
+    fused_queries: int = 0
+    fusion_batches: int = 0
+    fusion_ticks: int = 0
+    max_fused_in_tick: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    chunks_streamed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def note_admitted(self, req: PendingRequest) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.by_op[req.op] = self.by_op.get(req.op, 0) + 1
+            if req.fusable:
+                self.point_queries += 1
+
+    def note_tick(self, units) -> None:
+        fused_this_tick = 0
+        with self._lock:
+            for unit in units:
+                if unit.fused:
+                    self.fusion_batches += 1
+                    self.fused_queries += len(unit.requests)
+                    fused_this_tick += len(unit.requests)
+            if fused_this_tick:
+                self.fusion_ticks += 1
+                self.max_fused_in_tick = max(self.max_fused_in_tick,
+                                             fused_this_tick)
+
+    def note_outcome(self, outcome: Outcome) -> None:
+        with self._lock:
+            if outcome.status == protocol.STATUS_TIMEOUT:
+                self.timeouts += 1
+            elif outcome.status == protocol.STATUS_ERROR:
+                self.errors += 1
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_chunk(self) -> None:
+        with self._lock:
+            self.chunks_streamed += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            fusion_ratio = (self.fused_queries / self.point_queries
+                            if self.point_queries else 0.0)
+            return {
+                "requests_total": self.requests_total,
+                "by_op": dict(self.by_op),
+                "point_queries": self.point_queries,
+                "fused_queries": self.fused_queries,
+                "fusion_batches": self.fusion_batches,
+                "fusion_ticks": self.fusion_ticks,
+                "max_fused_in_tick": self.max_fused_in_tick,
+                "fusion_ratio": fusion_ratio,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+                "chunks_streamed": self.chunks_streamed,
+            }
+
+
+class ChunkStream:
+    """Bounded worker→loop conduit for one request's streamed result chunks.
+
+    The worker thread ``post``s chunks; the connection coroutine iterates
+    them.  At most ``max_inflight`` chunks are queued at once — ``post``
+    blocks the worker past that, so a slow consumer throttles the producer
+    instead of growing server memory (the sink path already bounds chunk
+    size).  ``abort`` (client gone) unblocks and fails the producer at its
+    next post, which unwinds the engine work through the cancel scope.
+    """
+
+    _DONE = object()
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 max_inflight: int = 8) -> None:
+        self._loop = loop
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._window = threading.Semaphore(max_inflight)
+        self._max_inflight = max_inflight
+        self._aborted = False
+
+    # ---------------------------------------------------- worker-thread side
+    def post(self, keys: np.ndarray, values: np.ndarray) -> None:
+        if self._aborted:
+            raise OperationCancelled("client gone")
+        self._window.acquire()
+        if self._aborted:
+            raise OperationCancelled("client gone")
+        self._loop.call_soon_threadsafe(self._queue.put_nowait, (keys, values))
+
+    def close(self) -> None:
+        """Terminate the stream (call from the loop thread)."""
+        self._queue.put_nowait(self._DONE)
+
+    # ------------------------------------------------------- loop-thread side
+    def abort(self) -> None:
+        """Release any blocked producer and fail its future posts."""
+        self._aborted = True
+        for _ in range(self._max_inflight):
+            self._window.release()
+
+    async def chunks(self):
+        while True:
+            item = await self._queue.get()
+            if item is self._DONE:
+                return
+            try:
+                yield item
+            finally:
+                self._window.release()
+
+
+class QueryService:
+    """The asyncio TCP query service (see module docstring)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 default_backend: str = "vectorized",
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 tick_seconds: float = DEFAULT_TICK_SECONDS,
+                 workers: int = DEFAULT_WORKERS,
+                 chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+                 max_payload: int = protocol.DEFAULT_MAX_PAYLOAD_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.catalog = SessionCatalog(default_backend=default_backend)
+        self.stats = ServiceStats()
+        self.max_pending = int(max_pending)
+        self.tick_seconds = float(tick_seconds)
+        self.n_workers = int(workers)
+        self.chunk_pairs = int(chunk_pairs)
+        self.max_payload = int(max_payload)
+        self.started = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._pool = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the listener and start the scheduler; resolves ``self.port``."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        self._pool = ThreadPoolExecutor(max_workers=self.n_workers,
+                                        thread_name_prefix="repro-service")
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.ensure_future(self._scheduler_loop())
+
+    def request_stop(self) -> None:
+        """Ask the service to shut down (safe from the loop thread)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop`, then tear everything down."""
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        self._scheduler_task.cancel()
+        try:
+            await self._scheduler_task
+        except asyncio.CancelledError:
+            pass
+        # Fail whatever is still queued so no client hangs on shutdown.
+        while not self._queue.empty():
+            req = self._queue.get_nowait()
+            req.token.cancel("server stopped")
+            self._finish(req, Outcome(protocol.STATUS_ERROR,
+                                      message="server stopped"))
+        self._pool.shutdown(wait=True)
+        self.catalog.close_all()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a scheduler tick."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -------------------------------------------------------------- scheduler
+    async def _scheduler_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if self.tick_seconds > 0:
+                # Burst-collection window: co-arriving point queries land in
+                # the same tick and fuse.
+                await asyncio.sleep(self.tick_seconds)
+            batch: List[PendingRequest] = [first]
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            units = plan_tick(batch)
+            self.stats.note_tick(units)
+            for unit in units:
+                self._loop.run_in_executor(
+                    self._pool, run_work_unit, unit, self.catalog,
+                    self.chunk_pairs)
+
+    def _resolve_threadsafe(self, req: PendingRequest,
+                            outcome: Outcome) -> None:
+        """Worker-side resolve callback: hop to the loop and finish there."""
+        self._loop.call_soon_threadsafe(self._finish, req, outcome)
+
+    def _finish(self, req: PendingRequest, outcome: Outcome) -> None:
+        future = req.future
+        if not future.done():
+            self.stats.note_outcome(outcome)
+            future.set_result(outcome)
+        if req.stream is not None:
+            req.stream.close()
+
+    # ------------------------------------------------------------ connections
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame_async(
+                        reader, max_payload=self.max_payload)
+                except protocol.ProtocolError as exc:
+                    # Best-effort structured error, then drop the connection:
+                    # after a framing error the stream offset is unknown.
+                    await self._write(writer, {"status": protocol.STATUS_ERROR,
+                                               "message": str(exc)})
+                    break
+                if frame is None:
+                    break
+                header, payload = frame
+                try:
+                    await self._dispatch(writer, header, payload)
+                except (ConnectionError, BrokenPipeError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 - per-request wall
+                    await self._write(writer, {"status": protocol.STATUS_ERROR,
+                                               "message": f"{type(exc).__name__}: {exc}"})
+        except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter, header: dict,
+                     payload: bytes = b"") -> None:
+        writer.write(protocol.encode_frame(header, payload))
+        await writer.drain()
+
+    async def _dispatch(self, writer: asyncio.StreamWriter, header: dict,
+                        payload: bytes) -> None:
+        op = header.get("op")
+        if op in QUERY_OPS:
+            await self._handle_query(writer, header, payload)
+        elif op == "ping":
+            await self._write(writer, {"status": protocol.STATUS_OK,
+                                       "pong": True})
+        elif op == "stats":
+            await self._write(writer, {"status": protocol.STATUS_OK,
+                                       "stats": self._stats_payload()})
+        elif op == "list":
+            await self._write(writer, {"status": protocol.STATUS_OK,
+                                       "datasets": self.catalog.describe()})
+        elif op == "register":
+            await self._handle_register(writer, header, payload)
+        elif op == "evict":
+            self.catalog.evict(str(header["name"]))
+            await self._write(writer, {"status": protocol.STATUS_OK,
+                                       "evicted": header["name"]})
+        elif op == "shutdown":
+            await self._write(writer, {"status": protocol.STATUS_OK,
+                                       "stopping": True})
+            self.request_stop()
+        else:
+            await self._write(writer, {"status": protocol.STATUS_ERROR,
+                                       "message": f"unknown op {op!r}"})
+
+    async def _handle_register(self, writer: asyncio.StreamWriter,
+                               header: dict, payload: bytes) -> None:
+        name = str(header["name"])
+        backend = header.get("backend")
+        store_path = header.get("store_path")
+        data = None
+        if store_path is None:
+            arrays = protocol.unpack_arrays(header.get("arrays", ()), payload)
+            if "points" not in arrays:
+                raise ValueError("register without store_path needs a "
+                                 "'points' array payload")
+            data = arrays["points"]
+        # Session open may build pools / memmap stores — keep it off the loop.
+        info = await self._loop.run_in_executor(
+            self._pool, lambda: self.catalog.register(
+                name, data=data, store_path=store_path, backend=backend))
+        await self._write(writer, {"status": protocol.STATUS_OK,
+                                   "dataset": info})
+
+    def _build_request(self, header: dict, payload: bytes) -> PendingRequest:
+        arrays = protocol.unpack_arrays(header.get("arrays", ()), payload)
+        points = arrays.get("points")
+        if points is not None:
+            points = np.ascontiguousarray(points, dtype=np.float64)
+            if points.ndim != 2:
+                raise ValueError("query points must be a 2-D array")
+        timeout_ms = header.get("timeout_ms")
+        token = CancellationToken.with_timeout(float(timeout_ms) / 1000.0) \
+            if timeout_ms is not None else CancellationToken()
+        return PendingRequest(
+            op=str(header["op"]),
+            dataset=str(header.get("dataset", "")),
+            eps=float(header["eps"]) if header.get("eps") is not None else None,
+            k=int(header["k"]) if header.get("k") is not None else None,
+            points=points,
+            unicomp=bool(header.get("unicomp", True)),
+            include_self=bool(header.get("include_self", True)),
+            fuse=bool(header.get("fuse", True)),
+            seconds=float(header.get("seconds", 0.0)),
+            token=token,
+            resolve=self._resolve_threadsafe,
+        )
+
+    async def _handle_query(self, writer: asyncio.StreamWriter, header: dict,
+                            payload: bytes) -> None:
+        req = self._build_request(header, payload)
+        # Fail fast on an unknown dataset — before burning a queue slot.
+        if req.op != "_sleep":
+            try:
+                self.catalog.get(req.dataset)
+            except DatasetNotRegistered as exc:
+                await self._write(writer, {"status": protocol.STATUS_ERROR,
+                                           "message": str(exc)})
+                return
+        req.future = self._loop.create_future()
+        if req.op in STREAMING_OPS:
+            req.stream = ChunkStream(self._loop)
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            # Backpressure: overload answers with a structured rejection
+            # (and the current depth, so clients can back off) instead of
+            # queueing unboundedly.
+            self.stats.note_rejected()
+            await self._write(writer, {"status": protocol.STATUS_REJECTED,
+                                       "queue_depth": self.queue_depth,
+                                       "max_pending": self.max_pending,
+                                       "message": "admission queue full"})
+            return
+        self.stats.note_admitted(req)
+        if req.stream is not None:
+            # Streaming ops acknowledge admission up front, then chunk.
+            await self._write(writer, {"status": protocol.STATUS_OK,
+                                       "streaming": True})
+            await self._stream_response(writer, req)
+        else:
+            outcome: Outcome = await req.future
+            meta, body = protocol.pack_arrays(outcome.arrays or [])
+            await self._write(writer, {"status": outcome.status,
+                                       "message": outcome.message,
+                                       "arrays": meta, **outcome.end}, body)
+
+    async def _stream_response(self, writer: asyncio.StreamWriter,
+                               req: PendingRequest) -> None:
+        seq = 0
+        try:
+            async for keys, values in req.stream.chunks():
+                meta, body = protocol.pack_arrays([("keys", keys),
+                                                   ("values", values)])
+                await self._write(writer, {"status": protocol.STATUS_CHUNK,
+                                           "seq": seq,
+                                           "pairs": int(keys.shape[0]),
+                                           "arrays": meta}, body)
+                self.stats.note_chunk()
+                seq += 1
+            outcome: Outcome = await req.future
+            await self._write(writer, {"status": protocol.STATUS_END,
+                                       "final": outcome.status,
+                                       "message": outcome.message,
+                                       "chunks": seq, **outcome.end})
+        except BaseException:
+            # Client gone (or handler cancelled) mid-stream: stop the engine
+            # work and unblock a worker waiting on the chunk window.
+            req.token.cancel("client gone")
+            req.stream.abort()
+            raise
+
+    # ------------------------------------------------------------------ stats
+    def _stats_payload(self) -> dict:
+        return {
+            "service": self.stats.snapshot(),
+            "queue_depth": self.queue_depth,
+            "max_pending": self.max_pending,
+            "tick_seconds": self.tick_seconds,
+            "workers": self.n_workers,
+            "uptime_s": time.monotonic() - self.started,
+            "datasets": self.catalog.describe(),
+            "backend_availability": backend_availability(),
+            "kernel_tier_availability": kernel_tier_availability(),
+        }
+
+
+class ServerThread:
+    """Run a :class:`QueryService` on a dedicated thread (tests, examples).
+
+    Context-manager usage::
+
+        with ServerThread(tick_seconds=0.01) as server:
+            client = ServiceClient(server.host, server.port)
+            ...
+
+    ``host``/``port`` resolve once the server is listening; ``stop()`` (or
+    the context exit) shuts the service down and joins the thread.
+    """
+
+    def __init__(self, **service_kwargs) -> None:
+        self._kwargs = service_kwargs
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.service: Optional[QueryService] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-service-loop", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        async def main():
+            self.service = QueryService(**self._kwargs)
+            try:
+                await self.service.start()
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.service.serve_until_stopped()
+
+        try:
+            asyncio.run(main())
+        except Exception:
+            if not self._ready.is_set():
+                self._ready.set()
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def stop(self) -> None:
+        if self.service is not None and self.service._loop is not None:
+            try:
+                self.service._loop.call_soon_threadsafe(
+                    self.service.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

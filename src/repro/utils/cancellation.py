@@ -1,0 +1,129 @@
+"""Cooperative cancellation and deadlines for long-running engine work.
+
+The query service (:mod:`repro.service`) attaches per-request deadlines;
+merely *responding* with a timeout is not enough — the shard loops must
+actually stop burning CPU on a request nobody is waiting for.  Engine
+operators are plain synchronous loops, so cancellation is cooperative: the
+service wraps each execution in a :func:`cancel_scope` carrying a
+:class:`CancellationToken`, and the batch/shard loops call
+:func:`check_cancelled` between units of work.  A tripped token raises
+:class:`OperationCancelled`, which unwinds the operator mid-plan.
+
+The scope travels in a thread-local, not in function signatures: the engine
+executes a request on one worker thread end to end (executor → backend →
+shard loop), so nothing in the operator seam has to grow a ``cancel=``
+parameter, and code that never uses cancellation pays one thread-local read
+per checkpoint.  Checks sit between batches, shards and radius-doubling
+rounds — granular enough that a cancelled multi-shard join stops within one
+shard's worth of work.  (Work already shipped to a ``multiprocess`` pool
+worker finishes its current shard; the parent stops merging and dispatching
+afterwards.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class OperationCancelled(RuntimeError):
+    """Raised at a cancellation checkpoint once the scope's token tripped.
+
+    ``reason`` distinguishes an explicit cancel (client disconnected, server
+    shutting down) from an expired deadline, so callers can map the unwind
+    to the right structured response.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+    @property
+    def is_deadline(self) -> bool:
+        """True when the cancellation came from an expired deadline."""
+        return self.reason == "deadline"
+
+
+class CancellationToken:
+    """A cancel flag plus an optional monotonic-clock deadline.
+
+    Safe to cancel from any thread; checked cooperatively by the thread
+    running the work.  ``deadline`` is an absolute :func:`time.monotonic`
+    timestamp (use :meth:`with_timeout` for a relative one).
+    """
+
+    __slots__ = ("deadline", "_cancelled", "_reason")
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        self.deadline = deadline
+        self._cancelled = False
+        self._reason = "cancelled"
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancellationToken":
+        """A token expiring ``seconds`` from now (``<= 0`` is already expired)."""
+        return cls(deadline=time.monotonic() + float(seconds))
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Trip the token; the owning work stops at its next checkpoint."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called (deadline expiry not included)."""
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` without one; floored at 0)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`OperationCancelled` if tripped or past deadline."""
+        if self._cancelled:
+            raise OperationCancelled(self._reason)
+        if self.expired:
+            raise OperationCancelled("deadline")
+
+
+_SCOPE = threading.local()
+
+
+def current_token() -> Optional[CancellationToken]:
+    """The token of the innermost active :func:`cancel_scope` (or ``None``)."""
+    return getattr(_SCOPE, "token", None)
+
+
+@contextmanager
+def cancel_scope(token: Optional[CancellationToken]) -> Iterator[None]:
+    """Make ``token`` the current thread's cancellation scope.
+
+    Scopes nest; the innermost one wins.  Passing ``None`` is a no-op scope,
+    which lets callers thread an optional token without branching.
+    """
+    previous = getattr(_SCOPE, "token", None)
+    _SCOPE.token = token if token is not None else previous
+    try:
+        yield
+    finally:
+        _SCOPE.token = previous
+
+
+def check_cancelled() -> None:
+    """Cancellation checkpoint: no-op outside a scope, else token.check().
+
+    This is the call sprinkled through the batch/shard loops; it must stay
+    cheap on the common (no scope) path — one thread-local read.
+    """
+    token = getattr(_SCOPE, "token", None)
+    if token is not None:
+        token.check()

@@ -461,3 +461,48 @@ class TestSharedMemoryExit:
         assert proc.returncode == 0, proc.stderr
         assert "released 1" in proc.stdout
         assert "resource_tracker" not in proc.stderr, proc.stderr
+
+
+class TestSessionThreadSafety:
+    """One session hammered from many threads (the query service's pattern)."""
+
+    def test_concurrent_queries_and_index_cache_access(self):
+        import threading
+
+        rng = np.random.default_rng(5)
+        pts = rng.random((600, 3))
+        eps_values = [0.05, 0.08, 0.11, 0.14]
+        ref = {eps: run_query(Query.self_join(pts, eps)).num_pairs
+               for eps in eps_values}
+        errors = []
+        with EngineSession(pts, max_cached_indexes=2) as session:
+            barrier = threading.Barrier(8)
+
+            def hammer(worker):
+                try:
+                    barrier.wait()
+                    for i in range(12):
+                        eps = eps_values[(worker + i) % len(eps_values)]
+                        if i % 3 == 0:
+                            got = session.self_join(eps).num_pairs
+                            assert got == ref[eps], (eps, got)
+                        elif i % 3 == 1:
+                            session.index_for(eps)
+                        else:
+                            table = session.range_query(
+                                pts[worker:worker + 2], eps).neighbor_table
+                            assert table.num_points == 2
+                except Exception as exc:  # noqa: BLE001 - collected for assert
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(w,))
+                       for w in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, errors
+            # The LRU bound must hold even under concurrent misses.
+            assert len(session.cached_eps) <= 2
+            stats = session.stats
+            assert stats.queries_run == 8 * 8  # 12 iterations, 8 run queries

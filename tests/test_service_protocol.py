@@ -1,0 +1,156 @@
+"""Frame protocol round-trips and rejection of malformed frames."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.service import protocol
+
+
+def _read_from_bytes(data: bytes, max_payload=protocol.DEFAULT_MAX_PAYLOAD_BYTES):
+    buf = io.BytesIO(data)
+    return protocol.read_frame(buf.read, max_payload)
+
+
+class TestFrameRoundTrip:
+    def test_header_and_payload_round_trip(self):
+        header = {"op": "range_query", "dataset": "stars", "eps": 0.25}
+        payload = b"\x00\x01\x02" * 100
+        frame = protocol.encode_frame(header, payload)
+        got_header, got_payload = _read_from_bytes(frame)
+        assert got_header == header
+        assert got_payload == payload
+
+    def test_empty_payload_round_trip(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        header, payload = _read_from_bytes(frame)
+        assert header == {"op": "ping"}
+        assert payload == b""
+
+    def test_unicode_header_round_trip(self):
+        header = {"op": "register", "name": "données-ß"}
+        got_header, _ = _read_from_bytes(protocol.encode_frame(header))
+        assert got_header == header
+
+    def test_multiple_frames_in_sequence(self):
+        data = protocol.encode_frame({"n": 1}) + protocol.encode_frame(
+            {"n": 2}, b"xy")
+        buf = io.BytesIO(data)
+        first = protocol.read_frame(buf.read)
+        second = protocol.read_frame(buf.read)
+        third = protocol.read_frame(buf.read)
+        assert first == ({"n": 1}, b"")
+        assert second == ({"n": 2}, b"xy")
+        assert third is None  # clean EOF between frames
+
+    def test_eof_between_frames_returns_none(self):
+        assert _read_from_bytes(b"") is None
+
+
+class TestMalformedFrames:
+    def test_truncated_prefix_rejected(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        with pytest.raises(protocol.ProtocolError, match="truncated"):
+            _read_from_bytes(frame[:5])
+
+    def test_truncated_body_rejected(self):
+        frame = protocol.encode_frame({"op": "x"}, b"payload-bytes")
+        with pytest.raises(protocol.ProtocolError, match="truncated"):
+            _read_from_bytes(frame[:-4])
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(protocol.encode_frame({"op": "ping"}))
+        frame[:4] = b"EVIL"
+        with pytest.raises(protocol.ProtocolError, match="magic"):
+            _read_from_bytes(bytes(frame))
+
+    def test_oversized_payload_rejected_before_read(self):
+        # Declare a huge payload without shipping it: the bound check must
+        # fire on the declared length, not after buffering.
+        frame = protocol.encode_frame({"op": "x"}, b"abcdef")
+        with pytest.raises(protocol.ProtocolError, match="payload length"):
+            _read_from_bytes(frame, max_payload=3)
+
+    def test_oversized_header_rejected(self):
+        prefix = protocol._PREFIX.pack(protocol.MAGIC,
+                                       protocol.MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(protocol.ProtocolError, match="header length"):
+            _read_from_bytes(prefix)
+
+    def test_non_json_header_rejected(self):
+        head = b"\xff\xfenot json"
+        frame = protocol._PREFIX.pack(protocol.MAGIC, len(head), 0) + head
+        with pytest.raises(protocol.ProtocolError, match="undecodable"):
+            _read_from_bytes(frame)
+
+    def test_non_object_header_rejected(self):
+        head = b"[1, 2, 3]"
+        frame = protocol._PREFIX.pack(protocol.MAGIC, len(head), 0) + head
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            _read_from_bytes(frame)
+
+
+class TestArrayCodec:
+    def test_named_arrays_round_trip(self):
+        arrays = [
+            ("points", np.arange(12, dtype=np.float64).reshape(4, 3)),
+            ("ids", np.array([7, 8, 9], dtype=np.int64)),
+            ("flags", np.array([True, False])),
+        ]
+        meta, payload = protocol.pack_arrays(arrays)
+        got = protocol.unpack_arrays(meta, payload)
+        for name, arr in arrays:
+            assert got[name].dtype == arr.dtype
+            assert np.array_equal(got[name], arr)
+
+    def test_empty_array_round_trip(self):
+        meta, payload = protocol.pack_arrays(
+            [("keys", np.empty(0, dtype=np.int64))])
+        got = protocol.unpack_arrays(meta, payload)
+        assert got["keys"].shape == (0,)
+
+    def test_non_contiguous_array_round_trips(self):
+        arr = np.arange(20, dtype=np.float64).reshape(4, 5)[:, ::2]
+        meta, payload = protocol.pack_arrays([("a", arr)])
+        assert np.array_equal(protocol.unpack_arrays(meta, payload)["a"], arr)
+
+    def test_object_dtype_rejected_on_pack(self):
+        with pytest.raises(protocol.ProtocolError, match="not wire-encodable"):
+            protocol.pack_arrays([("evil", np.array(["a", "b"], dtype=object))])
+
+    def test_disallowed_dtype_rejected_on_unpack(self):
+        meta = [{"name": "x", "dtype": "object", "shape": [1], "nbytes": 8}]
+        with pytest.raises(protocol.ProtocolError, match="not wire-decodable"):
+            protocol.unpack_arrays(meta, b"\x00" * 8)
+
+    def test_shape_nbytes_mismatch_rejected(self):
+        meta, payload = protocol.pack_arrays(
+            [("a", np.zeros(4, dtype=np.float64))])
+        meta[0]["shape"] = [5]
+        with pytest.raises(protocol.ProtocolError, match="imply"):
+            protocol.unpack_arrays(meta, payload)
+
+    def test_short_payload_rejected(self):
+        meta, payload = protocol.pack_arrays(
+            [("a", np.zeros(4, dtype=np.float64))])
+        with pytest.raises(protocol.ProtocolError, match="too short"):
+            protocol.unpack_arrays(meta, payload[:-1])
+
+    def test_unclaimed_trailing_bytes_rejected(self):
+        meta, payload = protocol.pack_arrays(
+            [("a", np.zeros(4, dtype=np.float64))])
+        with pytest.raises(protocol.ProtocolError, match="unclaimed"):
+            protocol.unpack_arrays(meta, payload + b"\x00")
+
+    def test_negative_dimension_rejected(self):
+        meta = [{"name": "x", "dtype": "int64", "shape": [-1], "nbytes": 8}]
+        with pytest.raises(protocol.ProtocolError, match="negative"):
+            protocol.unpack_arrays(meta, b"\x00" * 8)
+
+    def test_unpacked_arrays_are_writable_copies(self):
+        meta, payload = protocol.pack_arrays(
+            [("a", np.arange(3, dtype=np.int64))])
+        got = protocol.unpack_arrays(meta, payload)["a"]
+        got[0] = 99  # frombuffer views are read-only; the codec must copy
+        assert got[0] == 99

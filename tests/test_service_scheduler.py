@@ -1,0 +1,280 @@
+"""Fusion batching, deadline and cancellation logic — no sockets involved."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.result import NeighborTable
+from repro.engine import run_query
+from repro.engine.query import Query
+from repro.service import protocol
+from repro.service.catalog import SessionCatalog
+from repro.service.scheduler import (
+    ChunkForwardingSink,
+    PendingRequest,
+    plan_tick,
+    run_work_unit,
+)
+from repro.utils.cancellation import (
+    CancellationToken,
+    OperationCancelled,
+    cancel_scope,
+)
+
+
+class ListStream:
+    """Minimal in-process stand-in for the server's ChunkStream."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def post(self, keys, values):
+        self.chunks.append((np.asarray(keys), np.asarray(values)))
+
+    def pairs(self):
+        if not self.chunks:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return (np.concatenate([k for k, _ in self.chunks]),
+                np.concatenate([v for _, v in self.chunks]))
+
+
+def _point_request(op, dataset, point, *, eps=None, k=None, token=None,
+                   fuse=True):
+    outcomes = []
+    req = PendingRequest(
+        op=op, dataset=dataset, eps=eps, k=k,
+        points=np.asarray(point, dtype=np.float64).reshape(1, -1),
+        token=token or CancellationToken(), fuse=fuse,
+        stream=ListStream() if op == "range_query" else None,
+        resolve=lambda r, out: outcomes.append(out))
+    req.outcomes = outcomes
+    return req
+
+
+def _catalog(points, backend="vectorized", name="d"):
+    catalog = SessionCatalog(default_backend=backend)
+    catalog.register(name, points)
+    return catalog
+
+
+class TestPlanTick:
+    def test_same_key_point_queries_fuse(self):
+        pts = np.zeros((3, 2))
+        reqs = [_point_request("range_query", "d", p, eps=0.1) for p in pts]
+        units = plan_tick(reqs)
+        assert len(units) == 1
+        assert units[0].kind == "fused_range"
+        assert units[0].requests == reqs  # admission order preserved
+
+    def test_different_eps_do_not_fuse(self):
+        pts = np.zeros((2, 2))
+        reqs = [_point_request("range_query", "d", pts[0], eps=0.1),
+                _point_request("range_query", "d", pts[1], eps=0.2)]
+        units = plan_tick(reqs)
+        assert [u.kind for u in units] == ["single", "single"]
+
+    def test_different_datasets_do_not_fuse(self):
+        reqs = [_point_request("range_query", "a", np.zeros(2), eps=0.1),
+                _point_request("range_query", "b", np.zeros(2), eps=0.1)]
+        assert [u.kind for u in plan_tick(reqs)] == ["single", "single"]
+
+    def test_knn_fuses_by_k(self):
+        reqs = [_point_request("knn", "d", np.zeros(2), k=3),
+                _point_request("knn", "d", np.ones(2), k=3),
+                _point_request("knn", "d", np.ones(2), k=5)]
+        kinds = sorted(u.kind for u in plan_tick(reqs))
+        assert kinds == ["fused_knn", "single"]
+
+    def test_fuse_opt_out_respected(self):
+        reqs = [_point_request("range_query", "d", np.zeros(2), eps=0.1,
+                               fuse=False),
+                _point_request("range_query", "d", np.ones(2), eps=0.1,
+                               fuse=False)]
+        assert [u.kind for u in plan_tick(reqs)] == ["single", "single"]
+
+    def test_multi_point_requests_never_fuse(self):
+        req = PendingRequest(op="range_query", dataset="d", eps=0.1,
+                             points=np.zeros((4, 2)))
+        assert not req.fusable
+
+    def test_lone_fusable_query_demoted_to_single(self):
+        units = plan_tick([_point_request("range_query", "d", np.zeros(2),
+                                          eps=0.1)])
+        assert [u.kind for u in plan_tick(
+            [_point_request("range_query", "d", np.zeros(2), eps=0.1)])] \
+            == ["single"]
+        assert units[0].kind == "single"
+
+
+@pytest.mark.parametrize("dims", [2, 3, 4, 5, 6])
+@pytest.mark.parametrize("backend", ["vectorized", "sharded(3)"])
+class TestFusedRangeParity:
+    def test_fused_answers_match_per_query_runs(self, dims, backend):
+        rng = np.random.default_rng(dims)
+        pts = rng.random((400, dims))
+        queries = rng.random((6, dims))
+        eps = 0.45 ** dims + 0.08
+        catalog = _catalog(pts, backend=backend)
+        reqs = [_point_request("range_query", "d", q, eps=eps)
+                for q in queries]
+        units = plan_tick(reqs)
+        assert len(units) == 1 and units[0].kind == "fused_range"
+        run_work_unit(units[0], catalog)
+        for i, req in enumerate(reqs):
+            assert req.outcomes[0].status == protocol.STATUS_OK
+            assert req.outcomes[0].end["fused_batch_size"] == len(reqs)
+            keys, values = req.stream.pairs()
+            got = NeighborTable.from_pairs(keys, values, 1)
+            ref = run_query(Query.range_query(
+                pts, queries[i:i + 1], eps)).neighbor_table
+            assert np.array_equal(got.offsets, ref.offsets)
+            assert np.array_equal(got.neighbors, ref.neighbors)
+        catalog.close_all()
+
+
+@pytest.mark.parametrize("dims", [2, 3, 4, 5, 6])
+class TestFusedKnnParity:
+    def test_fused_knn_bit_identical_to_per_query(self, dims):
+        from repro.apps.knn import knn_search
+        rng = np.random.default_rng(100 + dims)
+        pts = rng.random((300, dims))
+        queries = rng.random((5, dims))
+        catalog = _catalog(pts)
+        reqs = [_point_request("knn", "d", q, k=4) for q in queries]
+        units = plan_tick(reqs)
+        assert units[0].kind == "fused_knn"
+        run_work_unit(units[0], catalog)
+        ref = knn_search(pts, 4, queries=queries)
+        for i, req in enumerate(reqs):
+            outcome = req.outcomes[0]
+            assert outcome.status == protocol.STATUS_OK
+            arrays = dict(outcome.arrays)
+            assert np.array_equal(arrays["indices"], ref.indices[i:i + 1])
+            assert np.array_equal(arrays["distances"], ref.distances[i:i + 1])
+        catalog.close_all()
+
+
+class TestSelfJoinStreaming:
+    def test_forwarding_sink_matches_retained_result(self):
+        rng = np.random.default_rng(7)
+        pts = rng.random((500, 3))
+        ref = run_query(Query.self_join(pts, 0.12)).neighbor_table
+        stream = ListStream()
+        req = PendingRequest(op="self_join", dataset="d", eps=0.12,
+                             stream=stream)
+        outcomes = []
+        req.resolve = lambda r, out: outcomes.append(out)
+        catalog = _catalog(pts)
+        run_work_unit(plan_tick([req])[0], catalog)
+        assert outcomes[0].status == protocol.STATUS_OK
+        keys, values = stream.pairs()
+        got = NeighborTable.from_pairs(keys, values, pts.shape[0])
+        assert np.array_equal(got.offsets, ref.offsets)
+        assert np.array_equal(got.neighbors, ref.neighbors)
+        catalog.close_all()
+
+    def test_chunking_bounds_each_post(self):
+        rng = np.random.default_rng(8)
+        pts = rng.random((800, 2))
+        stream = ListStream()
+        req = PendingRequest(op="self_join", dataset="d", eps=0.2,
+                             stream=stream)
+        req.resolve = lambda r, out: None
+        catalog = _catalog(pts)
+        run_work_unit(plan_tick([req])[0], catalog, chunk_pairs=1000)
+        assert len(stream.chunks) > 1
+        # Emissions coalesce up to the bound; a single oversized emission
+        # may exceed it, but coalesced chunks must not grow unboundedly.
+        sizes = [k.shape[0] for k, _ in stream.chunks]
+        assert sum(sizes) == run_query(Query.self_join(pts, 0.2)).num_pairs
+        catalog.close_all()
+
+    def test_forwarding_sink_drops_self_pairs(self):
+        sink = ChunkForwardingSink(4, post=lambda k, v: posts.append((k, v)),
+                                   drop_self_pairs=True)
+        posts = []
+        sink.emit(np.array([0, 1, 2]), np.array([0, 3, 2]))
+        sink.flush()
+        keys, values = posts[0]
+        assert keys.tolist() == [1] and values.tolist() == [3]
+
+
+class TestDeadlines:
+    def test_expired_request_resolves_timeout_without_executing(self):
+        pts = np.random.default_rng(0).random((100, 2))
+        catalog = _catalog(pts)
+        queries_before = catalog.get("d").stats.queries_run
+        req = _point_request("range_query", "d", pts[0], eps=0.1,
+                             token=CancellationToken.with_timeout(-1.0))
+        run_work_unit(plan_tick([req])[0], catalog)
+        assert req.outcomes[0].status == protocol.STATUS_TIMEOUT
+        assert "expired before execution" in req.outcomes[0].message
+        assert catalog.get("d").stats.queries_run == queries_before
+        catalog.close_all()
+
+    def test_expired_member_dropped_live_member_still_served(self):
+        pts = np.random.default_rng(1).random((200, 2))
+        catalog = _catalog(pts)
+        dead = _point_request("range_query", "d", pts[0], eps=0.1,
+                              token=CancellationToken.with_timeout(-1.0))
+        live = _point_request("range_query", "d", pts[1], eps=0.1)
+        run_work_unit(plan_tick([dead, live])[0], catalog)
+        assert dead.outcomes[0].status == protocol.STATUS_TIMEOUT
+        assert live.outcomes[0].status == protocol.STATUS_OK
+        catalog.close_all()
+
+    def test_cancellation_stops_sharded_selfjoin_midway(self):
+        # A token cancelled from another thread must abort the shard loop
+        # well before all shards complete.
+        rng = np.random.default_rng(2)
+        pts = rng.random((4000, 2))
+        catalog = _catalog(pts, backend="sharded(16)")
+        token = CancellationToken()
+        stream = ListStream()
+        req = PendingRequest(op="self_join", dataset="d", eps=0.3,
+                             token=token, stream=stream)
+        outcomes = []
+        req.resolve = lambda r, out: outcomes.append(out)
+        threading.Timer(0.01, token.cancel).start()
+        run_work_unit(plan_tick([req])[0], catalog)
+        assert outcomes[0].status in (protocol.STATUS_ERROR,
+                                      protocol.STATUS_TIMEOUT)
+        assert "cancelled mid-execution" in outcomes[0].message
+        full = run_query(Query.self_join(pts, 0.3)).num_pairs
+        streamed = sum(k.shape[0] for k, _ in stream.chunks)
+        assert streamed < full  # it really stopped early
+        catalog.close_all()
+
+    def test_worker_survives_engine_exception(self):
+        catalog = _catalog(np.zeros((10, 2)))
+        bad = _point_request("range_query", "d", np.zeros(2), eps=-1.0)
+        run_work_unit(plan_tick([bad])[0], catalog)  # must not raise
+        assert bad.outcomes[0].status == protocol.STATUS_ERROR
+        catalog.close_all()
+
+
+class TestCancellationPrimitives:
+    def test_check_cancelled_is_noop_outside_scope(self):
+        from repro.utils.cancellation import check_cancelled
+        check_cancelled()  # no scope → no effect
+
+    def test_deadline_trips_inside_scope(self):
+        token = CancellationToken.with_timeout(0.005)
+        with cancel_scope(token):
+            time.sleep(0.02)
+            with pytest.raises(OperationCancelled) as err:
+                token.check()
+        assert err.value.is_deadline
+
+    def test_scopes_nest_and_restore(self):
+        from repro.utils.cancellation import current_token
+        outer, inner = CancellationToken(), CancellationToken()
+        with cancel_scope(outer):
+            with cancel_scope(inner):
+                assert current_token() is inner
+            assert current_token() is outer
+            with cancel_scope(None):  # None inherits the enclosing scope
+                assert current_token() is outer
+        assert current_token() is None
