@@ -1,0 +1,893 @@
+"""The ``distributed`` execution backend: shard work farmed to TCP workers.
+
+:class:`DistributedBackend` is the same cost-balanced shard decomposition
+as :mod:`repro.parallel.sharded` / :mod:`repro.parallel.mp`, executed by
+:class:`~repro.distributed.worker.WorkerServer` processes over sockets:
+
+* ``attach()`` ships the session dataset to every worker **once** — as a
+  :class:`~repro.data.store.SpatialStore` path each worker memory-maps
+  locally (nothing dataset-sized crosses the wire) or as arrays shipped
+  one time — after which every query of the session dispatches shard
+  requests against the workers' resident per-ε index caches.
+* Shards are assigned by the same sampled cost model as the local
+  backends (``estimate_cell_costs`` inside
+  :class:`~repro.parallel.shards.ShardPlanner` for self-joins,
+  ``estimate_probe_row_costs`` / ``split_by_cost`` for probes), with mild
+  oversubscription so early finishers pick up remaining shards instead of
+  idling.
+* Returned pair fragments stream **straight into the caller's sink** as
+  each shard's chunk frames arrive — the merge path is the one every
+  other backend uses, nothing result-sized is buffered per worker, and
+  for the disk-streamed path peak parent RSS stays O(largest shard).
+* A shard on a **dead** worker (connection drop, process kill) is
+  re-dispatched to the survivors; a shard on a **slow** worker is hedged
+  — a duplicate is dispatched to an idle worker after ``hedge_after``
+  seconds — and duplicates are deduplicated by shard id, so results stay
+  bit-identical under both fault modes.
+* The cooperative-cancellation scope of the calling thread
+  (:mod:`repro.utils.cancellation`) is threaded through the dispatch
+  loop *and* into every shard request as a ``deadline_ms`` budget, so an
+  expired request both unwinds the parent promptly and stops the
+  outstanding **remote** work at its next worker-side checkpoint.
+
+Registered lazily as ``distributed``; the spec names the workers:
+``distributed(127.0.0.1:9101, 127.0.0.1:9102)`` uses running workers (the
+multi-node story — start them with ``repro-worker``), ``distributed(4)``
+spawns a :class:`LocalWorkerPool` of four localhost subprocesses (the CI
+harness), and bare ``distributed`` reads ``REPRO_DISTRIBUTED_WORKERS``
+(a count or a comma-separated address list) before falling back to one
+local worker per CPU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.batching import estimate_probe_row_costs, split_by_cost
+from repro.core.kernels import DEFAULT_MAX_CANDIDATE_PAIRS, KernelStats
+from repro.core.nativekernels import parse_kernel_spec
+from repro.data.store import dataset_identity
+from repro.engine.backends import (
+    ExecutionBackend,
+    compose_kernel_spec,
+    get_backend,
+    register_backend,
+    _probe_rows,
+)
+from repro.distributed.worker import (
+    DEFAULT_CHUNK_PAIRS,
+    stats_from_wire,
+)
+from repro.parallel.shards import ShardPlanner, default_worker_count
+from repro.service import protocol
+from repro.utils.cancellation import check_cancelled, current_token
+
+#: Shards created per worker endpoint (same rationale as the multiprocess
+#: backend: oversubscription smooths sampled-cost estimation error).
+SHARDS_PER_WORKER = 2
+
+#: Environment override for the bare ``distributed`` spec: an integer spawns
+#: that many localhost workers; ``host:port,host:port`` uses running ones.
+WORKERS_ENV_VAR = "REPRO_DISTRIBUTED_WORKERS"
+
+#: How long to wait for a spawned worker subprocess to print its banner.
+_SPAWN_BANNER_TIMEOUT = 30.0
+
+#: Poll granularity of the dispatch loop and the endpoint threads' task
+#: queue — also how often the parent's cancellation token is checked.
+_POLL_SECONDS = 0.05
+
+
+class WorkerTaskFailed(RuntimeError):
+    """A shard could not be completed by any worker (or a worker reported a
+    deterministic error, which re-dispatching would only repeat)."""
+
+
+Address = Tuple[str, int]
+
+
+def _format_address(address: Address) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def worker_request(address: Address, header: dict, payload: bytes = b"", *,
+                   timeout: Optional[float] = 10.0,
+                   max_payload: int = protocol.DEFAULT_MAX_PAYLOAD_BYTES,
+                   ) -> Tuple[dict, bytes]:
+    """One single-frame request/response round-trip with a worker."""
+    sock = socket.create_connection(address, timeout=timeout)
+    try:
+        sock.settimeout(timeout)
+        sock.sendall(protocol.encode_frame(header, payload))
+        frame = protocol.read_frame_sock(sock, max_payload)
+    finally:
+        sock.close()
+    if frame is None:
+        raise protocol.ProtocolError(
+            f"worker {_format_address(address)} closed the connection "
+            "before replying")
+    return frame
+
+
+# --------------------------------------------------------------------------
+# localhost worker pool (the CI multi-process harness)
+# --------------------------------------------------------------------------
+def _terminate_processes(processes: List[subprocess.Popen]) -> None:
+    """Finalizer body: make sure spawned workers never outlive the parent."""
+    for proc in processes:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in processes:
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+            proc.kill()
+            proc.wait()
+
+
+class LocalWorkerPool:
+    """``repro-worker`` subprocesses on localhost ephemeral ports.
+
+    Each worker is one OS process running the real CLI entry point
+    (``python -m repro.distributed``), so the pool exercises exactly what a
+    multi-node deployment runs — the fault tests kill these processes
+    mid-join through :attr:`processes`.
+    """
+
+    def __init__(self, n_workers: int, *,
+                 store_root: Optional[str] = None) -> None:
+        if int(n_workers) < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.processes: List[subprocess.Popen] = []
+        self._addresses: List[Address] = []
+        self._finalizer = weakref.finalize(self, _terminate_processes,
+                                           self.processes)
+        cmd = [sys.executable, "-m", "repro.distributed",
+               "--host", "127.0.0.1", "--port", "0"]
+        if store_root is not None:
+            cmd += ["--store-root", str(store_root)]
+        try:
+            for _ in range(int(n_workers)):
+                proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                        stderr=subprocess.DEVNULL,
+                                        text=True)
+                self.processes.append(proc)
+                self._addresses.append(self._read_banner(proc))
+        except Exception:
+            self.shutdown()
+            raise
+
+    @staticmethod
+    def _read_banner(proc: subprocess.Popen) -> Address:
+        """Parse ``repro-worker listening on HOST:PORT`` from stdout.
+
+        The readline runs on a helper thread so a worker that dies before
+        printing (bad interpreter, import error) fails the spawn within the
+        banner timeout instead of blocking forever.
+        """
+        result: List[str] = []
+
+        def _read() -> None:
+            result.append(proc.stdout.readline())
+
+        thread = threading.Thread(target=_read, daemon=True)
+        thread.start()
+        thread.join(timeout=_SPAWN_BANNER_TIMEOUT)
+        line = result[0] if result else ""
+        if "listening on" not in line:
+            raise RuntimeError(
+                f"worker subprocess (pid {proc.pid}) did not start: "
+                f"banner was {line!r}")
+        host, _, port = line.rsplit(None, 1)[-1].rpartition(":")
+        return (host, int(port))
+
+    def addresses(self) -> List[Address]:
+        """The spawned workers' ``(host, port)`` endpoints."""
+        return list(self._addresses)
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful shutdown op, then terminate)."""
+        for address, proc in zip(self._addresses, self.processes):
+            if proc.poll() is None:
+                try:
+                    worker_request(address, {"op": "shutdown"}, timeout=2.0)
+                except (OSError, protocol.ProtocolError):
+                    pass
+        _terminate_processes(self.processes)
+
+
+# --------------------------------------------------------------------------
+# backend state
+# --------------------------------------------------------------------------
+@dataclass
+class _DatasetState:
+    """Parent-side record of one dataset attached across the workers."""
+
+    key: tuple
+    name: str                       # wire name the workers know it by
+    transport: str                  # "store" | "arrays"
+    store_path: Optional[str]
+    #: The parent-side array while bound (operators match on identity);
+    #: ``None`` for store attachments until the owning session materializes.
+    points: Optional[np.ndarray]
+    #: Weakref to the owning session (store attachments bind lazily: the
+    #: session may materialize its array after attach).
+    session_ref: Optional[weakref.ref] = None
+    attached_tokens: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class DistributedStats:
+    """Dispatch counters of one :class:`DistributedBackend` instance.
+
+    ``shards_redispatched`` counts shards re-queued off dead (or
+    worker-side-cancelled) workers; ``shards_hedged`` duplicates dispatched
+    against stragglers; ``hedge_wasted_shards``/``hedge_wasted_pairs`` the
+    work a lost hedge race threw away.  All three groups surface in the
+    query service's stats endpoint.
+    """
+
+    attach_rpcs: int = 0
+    datasets_attached: int = 0
+    datasets_detached: int = 0
+    shards_dispatched: int = 0
+    shards_redispatched: int = 0
+    shards_hedged: int = 0
+    hedge_wasted_shards: int = 0
+    hedge_wasted_pairs: int = 0
+    worker_failures: int = 0
+
+    def snapshot(self) -> dict:
+        return {"attach_rpcs": self.attach_rpcs,
+                "datasets_attached": self.datasets_attached,
+                "datasets_detached": self.datasets_detached,
+                "shards_dispatched": self.shards_dispatched,
+                "shards_redispatched": self.shards_redispatched,
+                "shards_hedged": self.shards_hedged,
+                "hedge_wasted_shards": self.hedge_wasted_shards,
+                "hedge_wasted_pairs": self.hedge_wasted_pairs,
+                "worker_failures": self.worker_failures}
+
+
+class _Task:
+    """One shard request: wire header + payload plus dispatch bookkeeping."""
+
+    __slots__ = ("shard_id", "header", "payload", "key_map", "attempts")
+
+    def __init__(self, shard_id: int, header: dict, payload: bytes,
+                 key_map: Optional[np.ndarray] = None) -> None:
+        self.shard_id = shard_id
+        self.header = header
+        self.payload = payload
+        self.key_map = key_map
+        self.attempts = 0
+
+
+#: Sentinel telling an endpoint thread to exit.
+_POISON = object()
+
+
+# --------------------------------------------------------------------------
+# the backend
+# --------------------------------------------------------------------------
+@register_backend
+class DistributedBackend(ExecutionBackend):
+    """Cost-balanced shards executed by remote TCP workers (module docstring).
+
+    Parameters
+    ----------
+    *spec:
+        Worker endpoints: ``host:port`` strings for running workers, or a
+        single integer spawning that many :class:`LocalWorkerPool`
+        subprocesses.  Empty falls back to :data:`WORKERS_ENV_VAR`, then to
+        one local worker per CPU.
+    inner:
+        Backend each worker executes per shard.
+    n_shards:
+        Shard count (``workers * SHARDS_PER_WORKER`` when omitted).
+    seed:
+        Seed of the sampled cost estimates (reproducible shard plans).
+    kernel:
+        Kernel-tier spec threaded into the workers' inner backend.
+    hedge_after:
+        Seconds an in-flight shard may run — while other workers idle and
+        no work is queued — before a duplicate is dispatched; ``0``
+        disables hedging.
+    connect_timeout:
+        Socket connect/attach timeout per worker RPC.
+    chunk_pairs:
+        Result pairs per streamed chunk frame.
+    debug_shard_sleep_ms:
+        Test hook: every shard request carries this worker-side sleep
+        (cancellation-checkpointed), so fault tests can hold shards in
+        flight deterministically.
+    store_root:
+        Forwarded to spawned local workers' ``--store-root``.
+    """
+
+    name = "distributed"
+    supports_cell_subset = True
+    owns_decomposition = True
+    supports_streaming = True
+
+    def __init__(self, *spec, inner: str = "vectorized",
+                 n_shards: Optional[int] = None, seed: int = 0,
+                 kernel: str = "auto", hedge_after: float = 0.25,
+                 connect_timeout: float = 10.0,
+                 chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+                 debug_shard_sleep_ms: float = 0.0,
+                 store_root: Optional[str] = None) -> None:
+        self.kernel_spec = str(kernel)
+        parse_kernel_spec(self.kernel_spec)  # fail fast on typos
+        self.inner_name = compose_kernel_spec(str(inner), self.kernel_spec)
+        self.n_shards = int(n_shards) if n_shards is not None else None
+        self.seed = int(seed)
+        self.hedge_after = float(hedge_after)
+        self.connect_timeout = float(connect_timeout)
+        self.chunk_pairs = int(chunk_pairs)
+        self.debug_shard_sleep_ms = float(debug_shard_sleep_ms)
+        self.store_root = store_root
+        self.max_payload = protocol.DEFAULT_MAX_PAYLOAD_BYTES
+        self.stats = DistributedStats()
+        self._n_local, self._addresses = self._parse_spec(spec)
+        self._pool: Optional[LocalWorkerPool] = None
+        self._active: Dict[tuple, _DatasetState] = {}
+        self._lock = threading.RLock()      # states, pool, stats
+        self._open_sockets: Set[socket.socket] = set()
+        self._sockets_lock = threading.Lock()
+
+    @staticmethod
+    def _parse_spec(spec) -> Tuple[Optional[int], List[Address]]:
+        n_local: Optional[int] = None
+        addresses: List[Address] = []
+        for token in spec:
+            if isinstance(token, int):
+                if n_local is not None:
+                    raise ValueError("at most one worker count in a "
+                                     "distributed(...) spec")
+                if token < 1:
+                    raise ValueError("worker count must be >= 1")
+                n_local = token
+            elif isinstance(token, str) and ":" in token:
+                host, _, port = token.rpartition(":")
+                addresses.append((host.strip(), int(port)))
+            else:
+                raise ValueError(f"bad distributed(...) token {token!r}: "
+                                 "expected host:port or a worker count")
+        if n_local is not None and addresses:
+            raise ValueError("give either worker addresses or a local "
+                             "worker count, not both")
+        if n_local is None and not addresses:
+            env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+            if env and ":" in env:
+                for part in env.split(","):
+                    host, _, port = part.strip().rpartition(":")
+                    addresses.append((host, int(port)))
+            elif env:
+                n_local = int(env)
+            else:
+                n_local = default_worker_count()
+        return n_local, addresses
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def inner(self) -> ExecutionBackend:
+        """The backend each worker executes per shard (local resolution)."""
+        return get_backend(self.inner_name)
+
+    @property
+    def supports_unicomp(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_unicomp
+
+    def kernel_tier(self) -> str:
+        """The inner spec's tier as it resolves *here* (workers re-resolve)."""
+        return self.inner.kernel_tier()
+
+    def endpoints(self) -> List[Address]:
+        """The worker endpoints, spawning the local pool on first use."""
+        with self._lock:
+            if self._addresses:
+                return list(self._addresses)
+            if self._pool is None:
+                self._pool = LocalWorkerPool(self._n_local,
+                                             store_root=self.store_root)
+            return self._pool.addresses()
+
+    def shutdown(self) -> None:
+        """Detach every dataset and stop a spawned local pool."""
+        with self._lock:
+            for state in list(self._active.values()):
+                self._detach_everywhere(state)
+            self._active.clear()
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def _resolved_shards(self, n_endpoints: int) -> int:
+        return self.n_shards or max(1, n_endpoints) * SHARDS_PER_WORKER
+
+    # ------------------------------------------------------ session lifecycle
+    @staticmethod
+    def _pool_key(session) -> tuple:
+        return (session.identity,)
+
+    def attach(self, session) -> None:
+        """Ship the session dataset (or its store path) to every worker once."""
+        key = self._pool_key(session)
+        with self._lock:
+            state = self._active.get(key)
+            if state is None:
+                descriptor = session.source.storage_descriptor()
+                if descriptor is not None:
+                    # Store-path transport: each worker memmaps the file
+                    # itself; the parent never materializes the array here.
+                    state = self._attach_store(descriptor, key=key)
+                    state.session_ref = weakref.ref(session)
+                else:
+                    state = self._attach_arrays(session.points, key=key)
+                self._active[key] = state
+            state.attached_tokens.add(session.token)
+
+    def detach(self, session) -> None:
+        """Drop the workers' attachment once the last session lets go."""
+        key = self._pool_key(session)
+        with self._lock:
+            state = self._active.get(key)
+            if state is None:
+                return
+            state.attached_tokens.discard(session.token)
+            if state.attached_tokens:
+                return
+            del self._active[key]
+            self._detach_everywhere(state)
+
+    def _attach_arrays(self, points: np.ndarray,
+                       key: Optional[tuple] = None) -> _DatasetState:
+        identity = dataset_identity(points)
+        name = (f"mem-{identity.fingerprint[:16]}"
+                f"-{identity.array_id & 0xFFFFFFFF:08x}")
+        meta, payload = protocol.pack_arrays([("points", points)])
+        header = {"op": "attach", "dataset": name, "inner": self.inner_name,
+                  "arrays": meta}
+        self._attach_rpc(header, payload)
+        return _DatasetState(key=key or (identity,), name=name,
+                             transport="arrays", store_path=None,
+                             points=points)
+
+    def _attach_store(self, descriptor: str,
+                      key: Optional[tuple] = None) -> _DatasetState:
+        resolved = str(Path(descriptor).resolve())
+        name = "store-" + hashlib.blake2b(resolved.encode(),
+                                          digest_size=8).hexdigest()
+        header = {"op": "attach", "dataset": name, "inner": self.inner_name,
+                  "store_path": resolved}
+        self._attach_rpc(header, b"")
+        return _DatasetState(key=key or (("store", resolved),), name=name,
+                             transport="store", store_path=resolved,
+                             points=None)
+
+    def _attach_rpc(self, header: dict, payload: bytes) -> None:
+        for address in self.endpoints():
+            reply, _ = worker_request(address, header, payload,
+                                      timeout=self.connect_timeout,
+                                      max_payload=self.max_payload)
+            with self._lock:
+                self.stats.attach_rpcs += 1
+            if reply.get("status") != protocol.STATUS_OK:
+                raise WorkerTaskFailed(
+                    f"attach to worker {_format_address(address)} failed: "
+                    f"{reply.get('message', reply)}")
+        with self._lock:
+            self.stats.datasets_attached += 1
+
+    def _detach_everywhere(self, state: _DatasetState) -> None:
+        for address in self.endpoints():
+            try:
+                worker_request(address,
+                               {"op": "detach", "dataset": state.name},
+                               timeout=2.0)
+            except (OSError, protocol.ProtocolError):
+                pass  # a dead worker has nothing to detach
+        with self._lock:
+            self.stats.datasets_detached += 1
+
+    # --------------------------------------------------------- state resolution
+    def _state_for_points(self, points: np.ndarray) -> Optional[_DatasetState]:
+        """The attached state whose dataset *is* ``points`` (identity match).
+
+        Store-backed sessions bind lazily: the array materializes on the
+        session after attach, so the match goes through the session's
+        private ``_points`` (never triggering a materialization here).
+        """
+        with self._lock:
+            for state in self._active.values():
+                if state.points is points:
+                    return state
+                if state.points is None and state.session_ref is not None:
+                    session = state.session_ref()
+                    if session is not None and session._points is points:
+                        state.points = points
+                        return state
+        return None
+
+    def _state_for_source(self, source) -> Optional[_DatasetState]:
+        descriptor = source.storage_descriptor()
+        if descriptor is None:
+            return None
+        resolved = str(Path(descriptor).resolve())
+        with self._lock:
+            for state in self._active.values():
+                if state.store_path == resolved:
+                    return state
+        return None
+
+    # ------------------------------------------------------------- operators
+    def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
+                     max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                     device=None, threads_per_block=256) -> KernelStats:
+        endpoints = self.endpoints()
+        plan = ShardPlanner(n_shards=self._resolved_shards(len(endpoints)),
+                            seed=self.seed).plan(index, cells)
+        shards = [shard for shard in plan.shards if shard.shape[0]]
+        state = self._state_for_points(index.points)
+        ephemeral = state is None
+        if ephemeral:
+            # One-shot call outside a session: ship the arrays for this
+            # call and drop the attachment afterwards (use a session to
+            # amortize the shipping, exactly like the multiprocess pool).
+            state = self._attach_arrays(index.points)
+        try:
+            tasks = []
+            for i, shard in enumerate(shards):
+                meta, payload = protocol.pack_arrays([("cells", shard)])
+                tasks.append(_Task(i, {
+                    "op": "selfjoin_shard", "dataset": state.name, "shard": i,
+                    "index_eps": float(index.eps), "eps": float(eps),
+                    "unicomp": bool(unicomp),
+                    "max_candidate_pairs": int(max_candidate_pairs),
+                    "chunk_pairs": self.chunk_pairs, "arrays": meta}, payload))
+            return self._execute_tasks(endpoints, tasks, sink)
+        finally:
+            if ephemeral:
+                self._detach_everywhere(state)
+
+    def run_probe(self, queries, index, eps, sink, *, rows=None,
+                  max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
+        rows = _probe_rows(queries, rows)
+        if rows.shape[0] == 0:
+            return KernelStats()
+        endpoints = self.endpoints()
+        state = self._state_for_points(index.points)
+        ephemeral = state is None
+        if ephemeral:
+            state = self._attach_arrays(index.points)
+        try:
+            costs = estimate_probe_row_costs(queries[rows], index,
+                                             seed=self.seed)
+            queries_arr = np.asarray(queries, dtype=np.float64)
+            tasks = []
+            shard_id = 0
+            for group in split_by_cost(costs,
+                                       self._resolved_shards(len(endpoints))):
+                if group.shape[0] == 0:
+                    continue
+                group_rows = rows[group]
+                meta, payload = protocol.pack_arrays(
+                    [("queries", queries_arr[group_rows])])
+                # Workers emit slice-local keys; key_map re-bases them onto
+                # the global query rows at merge time (each query row
+                # crosses the wire once per query, not once per task).
+                tasks.append(_Task(shard_id, {
+                    "op": "probe_shard", "dataset": state.name,
+                    "shard": shard_id, "index_eps": float(index.eps),
+                    "eps": float(eps),
+                    "max_candidate_pairs": int(max_candidate_pairs),
+                    "chunk_pairs": self.chunk_pairs, "arrays": meta},
+                    payload, key_map=group_rows))
+                shard_id += 1
+            return self._execute_tasks(endpoints, tasks, sink)
+        finally:
+            if ephemeral:
+                self._detach_everywhere(state)
+
+    def run_selfjoin_streamed(self, source, eps, sink, *, unicomp=False,
+                              max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
+                              ) -> KernelStats:
+        """Disk-streamed self-join, each shard read by its *worker* from the
+        shared store path.
+
+        Neither the dataset nor any index is materialized in the parent:
+        workers read their owned cell range plus ε-halo from their own
+        mapping of the store and return pairs in global ids.  ``unicomp``
+        is accepted for interface uniformity (the streamed recipe computes
+        full neighborhoods; results are identical either way).  Requires
+        every worker to reach the store path — localhost workers share the
+        filesystem; multi-node deployments need a shared mount.
+        """
+        descriptor = source.storage_descriptor()
+        if descriptor is None:
+            raise ValueError("the distributed streamed self-join needs a "
+                             "path-addressable store "
+                             "(source.storage_descriptor() is None)")
+        endpoints = self.endpoints()
+        state = self._state_for_source(source)
+        ephemeral = state is None
+        if ephemeral:
+            state = self._attach_store(descriptor)
+        try:
+            slices = split_by_cost(source.cell_counts.astype(np.float64),
+                                   self._resolved_shards(len(endpoints)))
+            tasks = []
+            shard_id = 0
+            for cells in slices:
+                if cells.shape[0] == 0:
+                    continue
+                tasks.append(_Task(shard_id, {
+                    "op": "stream_shard", "dataset": state.name,
+                    "shard": shard_id, "lo": int(cells[0]),
+                    "hi": int(cells[-1]) + 1, "eps": float(eps),
+                    "max_candidate_pairs": int(max_candidate_pairs),
+                    "chunk_pairs": self.chunk_pairs}, b""))
+                shard_id += 1
+            return self._execute_tasks(endpoints, tasks, sink)
+        finally:
+            if ephemeral:
+                self._detach_everywhere(state)
+
+    # ----------------------------------------------------------- dispatch loop
+    def _execute_tasks(self, endpoints: Sequence[Address], tasks: List[_Task],
+                       sink) -> KernelStats:
+        """Dispatch shard tasks across the workers; merge into ``sink``.
+
+        One thread per endpoint pulls tasks off a shared queue, runs the
+        request/stream round-trip, and posts events back; this loop owns
+        all sink emission and bookkeeping.  Failure semantics:
+
+        * socket/protocol error → the endpoint is considered dead, its
+          in-flight shard re-queued for the survivors
+          (``shards_redispatched``); all endpoints dead raises.
+        * worker-side ``timeout``/``cancelled`` → re-queued (if the
+          *parent's* deadline expired, ``check_cancelled()`` unwinds this
+          loop first).
+        * worker-side ``error`` → raised immediately (deterministic
+          failures don't improve with retries); per-shard attempts are
+          bounded either way.
+        * straggler → duplicate dispatched after ``hedge_after`` seconds
+          of queue-empty idleness; completions dedupe by shard id.
+        """
+        stats = KernelStats()
+        if not tasks:
+            return stats
+        token = current_token()   # thread-locals don't cross threads: capture
+        max_attempts = len(endpoints) + 2
+        task_queue: "queue.Queue" = queue.Queue()
+        events: "queue.Queue" = queue.Queue()
+        stop = threading.Event()
+        tasks_by_id = {task.shard_id: task for task in tasks}
+        for task in tasks:
+            task.attempts += 1
+            task_queue.put(task)
+        with self._lock:
+            self.stats.shards_dispatched += len(tasks)
+        live: Dict[Address, threading.Thread] = {}
+        for address in endpoints:
+            thread = threading.Thread(
+                target=self._endpoint_worker,
+                args=(address, task_queue, events, stop, token),
+                name=f"repro-dist-{_format_address(address)}", daemon=True)
+            thread.start()
+            live[address] = thread
+        threads = list(live.values())
+        completed: Set[int] = set()
+        in_flight: Dict[int, Dict[Address, float]] = {}
+        try:
+            while len(completed) < len(tasks_by_id):
+                check_cancelled()
+                try:
+                    event = events.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    self._maybe_hedge(task_queue, tasks_by_id, live,
+                                      in_flight, completed, max_attempts)
+                    continue
+                kind = event[0]
+                if kind == "start":
+                    _, address, task, started = event
+                    in_flight.setdefault(task.shard_id, {})[address] = started
+                elif kind == "done":
+                    _, address, task, chunks, end = event
+                    in_flight.get(task.shard_id, {}).pop(address, None)
+                    if task.shard_id in completed:
+                        # The lost side of a hedge race: drop the duplicate.
+                        with self._lock:
+                            self.stats.hedge_wasted_shards += 1
+                            self.stats.hedge_wasted_pairs += \
+                                int(end.get("pairs", 0) or 0)
+                        continue
+                    final = end.get("final")
+                    if final == "ok":
+                        for keys, values in chunks:
+                            if task.key_map is not None:
+                                keys = task.key_map[keys]
+                            sink.emit(keys, values)
+                        stats.merge(stats_from_wire(end.get("stats") or {}))
+                        completed.add(task.shard_id)
+                    elif final in ("timeout", "cancelled"):
+                        self._requeue(task, task_queue, max_attempts,
+                                      f"worker-side {final}")
+                    else:
+                        raise WorkerTaskFailed(
+                            f"shard {task.shard_id} failed on worker "
+                            f"{_format_address(address)}: "
+                            f"{end.get('message', end)}")
+                elif kind == "dead":
+                    _, address, task, message = event
+                    in_flight.get(task.shard_id, {}).pop(address, None)
+                    live.pop(address, None)
+                    with self._lock:
+                        self.stats.worker_failures += 1
+                    if task.shard_id not in completed:
+                        self._requeue(task, task_queue, max_attempts,
+                                      f"worker died ({message})")
+                    if not live:
+                        raise WorkerTaskFailed(
+                            "no distributed workers left alive; last "
+                            f"failure on {_format_address(address)}: "
+                            f"{message}")
+        finally:
+            stop.set()
+            # Closing in-flight sockets interrupts endpoint threads blocked
+            # in recv on a long shard, so cancellation returns promptly.
+            self._close_open_sockets()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        return stats
+
+    def _requeue(self, task: _Task, task_queue: "queue.Queue",
+                 max_attempts: int, reason: str) -> None:
+        if task.attempts >= max_attempts:
+            raise WorkerTaskFailed(
+                f"shard {task.shard_id} failed after {task.attempts} "
+                f"attempts; last reason: {reason}")
+        task.attempts += 1
+        with self._lock:
+            self.stats.shards_redispatched += 1
+        task_queue.put(task)
+
+    def _maybe_hedge(self, task_queue: "queue.Queue",
+                     tasks_by_id: Dict[int, _Task],
+                     live: Dict[Address, threading.Thread],
+                     in_flight: Dict[int, Dict[Address, float]],
+                     completed: Set[int], max_attempts: int) -> None:
+        """Dispatch one straggler duplicate when capacity is idle."""
+        if self.hedge_after <= 0 or not task_queue.empty():
+            return
+        busy = sum(1 for holders in in_flight.values() if holders)
+        if len(live) - busy <= 0:
+            return
+        now = time.monotonic()
+        for shard_id, holders in in_flight.items():
+            if shard_id in completed or len(holders) != 1:
+                continue
+            started = next(iter(holders.values()))
+            task = tasks_by_id[shard_id]
+            if now - started < self.hedge_after \
+                    or task.attempts >= max_attempts:
+                continue
+            task.attempts += 1
+            with self._lock:
+                self.stats.shards_hedged += 1
+            task_queue.put(task)
+            return  # at most one hedge per poll tick
+
+    # ------------------------------------------------------- endpoint threads
+    def _endpoint_worker(self, address: Address, task_queue: "queue.Queue",
+                         events: "queue.Queue", stop: threading.Event,
+                         token) -> None:
+        while not stop.is_set():
+            try:
+                task = task_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            if task is _POISON:  # pragma: no cover - defensive
+                return
+            events.put(("start", address, task, time.monotonic()))
+            try:
+                chunks, end = self._request_shard(address, task, token)
+            except (OSError, protocol.ProtocolError) as exc:
+                if not stop.is_set():
+                    events.put(("dead", address, task,
+                                f"{type(exc).__name__}: {exc}"))
+                return  # endpoint presumed dead; let survivors drain the queue
+            events.put(("done", address, task, chunks, end))
+
+    def _request_shard(self, address: Address, task: _Task, token,
+                       ) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], dict]:
+        """One shard round-trip: send the request, collect its chunk stream."""
+        header = dict(task.header)
+        if self.debug_shard_sleep_ms > 0:
+            header["debug_sleep_ms"] = self.debug_shard_sleep_ms
+        if token is not None and token.deadline is not None:
+            # Thread the parent deadline into the remote work: the worker
+            # self-cancels when the budget lapses, so an expired request
+            # stops burning remote CPU even before this side unwinds.
+            header["deadline_ms"] = max(1.0, token.remaining() * 1000.0)
+        sock = socket.create_connection(address,
+                                        timeout=self.connect_timeout)
+        with self._sockets_lock:
+            self._open_sockets.add(sock)
+        try:
+            sock.settimeout(None)   # shard compute takes as long as it takes
+            sock.sendall(protocol.encode_frame(header, task.payload))
+            chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+            while True:
+                frame = protocol.read_frame_sock(sock, self.max_payload)
+                if frame is None:
+                    raise protocol.ProtocolError(
+                        "worker closed the connection mid-shard")
+                fheader, fpayload = frame
+                status = fheader.get("status")
+                if status == protocol.STATUS_CHUNK:
+                    arrays = protocol.unpack_arrays(
+                        fheader.get("arrays", []), fpayload)
+                    chunks.append((arrays["keys"], arrays["values"]))
+                elif status == protocol.STATUS_END:
+                    return chunks, fheader
+                else:
+                    raise protocol.ProtocolError(
+                        f"unexpected frame status {status!r} in a shard "
+                        "response")
+        finally:
+            with self._sockets_lock:
+                self._open_sockets.discard(sock)
+            sock.close()
+
+    def _close_open_sockets(self) -> None:
+        with self._sockets_lock:
+            sockets = list(self._open_sockets)
+            self._open_sockets.clear()
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # ---------------------------------------------------------------- metrics
+    def worker_liveness(self, timeout: float = 0.5) -> List[dict]:
+        """Ping every endpoint; per-worker liveness plus its own counters."""
+        report = []
+        for address in self.endpoints():
+            entry: dict = {"address": _format_address(address)}
+            try:
+                reply, _ = worker_request(address, {"op": "stats"},
+                                          timeout=timeout)
+                entry["alive"] = reply.get("status") == protocol.STATUS_OK
+                entry["stats"] = reply.get("stats", {})
+                entry["datasets"] = reply.get("datasets", [])
+            except (OSError, protocol.ProtocolError) as exc:
+                entry["alive"] = False
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+            report.append(entry)
+        return report
+
+    def distributed_snapshot(self, liveness_timeout: float = 0.5) -> dict:
+        """Liveness + dispatch counters for the service stats endpoint."""
+        with self._lock:
+            counters = self.stats.snapshot()
+        workers = self.worker_liveness(timeout=liveness_timeout)
+        return {"workers": workers,
+                "workers_alive": sum(1 for w in workers if w.get("alive")),
+                "workers_total": len(workers),
+                **counters}

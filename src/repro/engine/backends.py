@@ -779,6 +779,7 @@ class BruteForceBackend(ExecutionBackend):
 # --------------------------------------------------------------------------
 register_lazy_backend("sharded", "repro.parallel.sharded")
 register_lazy_backend("multiprocess", "repro.parallel.mp")
+register_lazy_backend("distributed", "repro.distributed.backend")
 # Real-GPU backend: listed for discoverability even where CuPy is absent —
 # backend_availability() reports it as registered-but-unavailable with the
 # missing dependency instead of an unknown-name KeyError.

@@ -13,18 +13,26 @@ from typing import Dict, Optional, Sequence
 from repro.data.datasets import SYN_2M_DATASETS
 from repro.experiments.report import format_series, format_table
 from repro.experiments.runner import (
-    ALGORITHMS,
     ExperimentResult,
+    default_figure_algorithms,
+    figure_machine_note,
     run_response_time_experiment,
 )
 
 
 def run_fig5(n_points: Optional[int] = None,
              datasets: Sequence[str] = SYN_2M_DATASETS,
-             algorithms: Sequence[str] = ALGORITHMS,
+             algorithms: Optional[Sequence[str]] = None,
              eps_values: Optional[Dict[str, Sequence[float]]] = None,
              trials: int = 1, seed: int = 0) -> ExperimentResult:
-    """Run the Figure 5 measurement matrix on the 2M-scale synthetic datasets."""
+    """Run the Figure 5 measurement matrix on the 2M-scale synthetic datasets.
+
+    ``algorithms`` defaults to the five paper algorithms, plus the parallel
+    engine variants when this machine passes the multi-core gate
+    (:func:`~repro.experiments.runner.default_figure_algorithms`).
+    """
+    if algorithms is None:
+        algorithms = default_figure_algorithms()
     return run_response_time_experiment(datasets, algorithms=algorithms,
                                         n_points=n_points, eps_values=eps_values,
                                         trials=trials, seed=seed)
@@ -32,7 +40,8 @@ def run_fig5(n_points: Optional[int] = None,
 
 def format_fig5(result: ExperimentResult) -> str:
     """Render the per-panel series followed by the full row table."""
-    lines = ["Figure 5: response time vs eps, synthetic 2M-scale datasets (scaled)"]
+    lines = ["Figure 5: response time vs eps, synthetic 2M-scale datasets (scaled)",
+             figure_machine_note()]
     for dataset in result.datasets():
         for algorithm in result.algorithms():
             xs, ys = result.series(dataset, algorithm)

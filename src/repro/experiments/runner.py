@@ -17,6 +17,7 @@ mean response time is reported.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,40 @@ ENGINE_ALGORITHM_PREFIX = "Engine["
 ENGINE_ALGORITHMS = ("Engine[vectorized]", "Engine[cellwise]",
                      "Engine[bruteforce]", "Engine[sharded]",
                      "Engine[multiprocess]")
+
+#: Parallel engine variants appended to the fig4–fig6 default algorithm sets
+#: on a multi-core reference machine.  On fewer cores the pool/shard overhead
+#: dominates and the curves say nothing about the paper's scaling story, so
+#: the figures gate them on the host CPU count and record the decision in
+#: the report header (see :func:`figure_machine_note`).
+FIGURE_PARALLEL_ALGORITHMS = ("Engine[sharded]", "Engine[multiprocess]")
+
+#: Minimum host CPUs for the parallel variants to enter the default set.
+FIGURE_PARALLEL_MIN_CPUS = 4
+
+
+def default_figure_algorithms() -> Tuple[str, ...]:
+    """The fig4–fig6 default algorithm set on this machine.
+
+    The five paper algorithms always; plus
+    :data:`FIGURE_PARALLEL_ALGORITHMS` when the host has at least
+    :data:`FIGURE_PARALLEL_MIN_CPUS` cores.
+    """
+    if (os.cpu_count() or 1) >= FIGURE_PARALLEL_MIN_CPUS:
+        return tuple(ALGORITHMS) + FIGURE_PARALLEL_ALGORITHMS
+    return tuple(ALGORITHMS)
+
+
+def figure_machine_note() -> str:
+    """One report-header line recording the gate decision and the CPU count."""
+    cpus = os.cpu_count() or 1
+    labels = ", ".join(FIGURE_PARALLEL_ALGORITHMS)
+    if cpus >= FIGURE_PARALLEL_MIN_CPUS:
+        verdict = f"included ({labels})"
+    else:
+        verdict = (f"excluded ({labels}; needs >= "
+                   f"{FIGURE_PARALLEL_MIN_CPUS} cores)")
+    return f"host CPUs: {cpus}; parallel engine algorithms {verdict}"
 
 
 def engine_backend_of(algorithm: str) -> Optional[str]:

@@ -334,8 +334,12 @@ class QueryService:
             await self._write(writer, {"status": protocol.STATUS_OK,
                                        "pong": True})
         elif op == "stats":
+            # Off the loop thread: distributed backends ping their workers
+            # for liveness, which is blocking socket I/O.
+            stats = await self._loop.run_in_executor(self._pool,
+                                                     self._stats_payload)
             await self._write(writer, {"status": protocol.STATUS_OK,
-                                       "stats": self._stats_payload()})
+                                       "stats": stats})
         elif op == "list":
             await self._write(writer, {"status": protocol.STATUS_OK,
                                        "datasets": self.catalog.describe()})
@@ -472,7 +476,31 @@ class QueryService:
             "datasets": self.catalog.describe(),
             "backend_availability": backend_availability(),
             "kernel_tier_availability": kernel_tier_availability(),
+            "distributed": self._distributed_payload(),
         }
+
+    def _distributed_payload(self) -> dict:
+        """Per-dataset worker liveness and dispatch counters.
+
+        Covers every registered session whose backend exposes
+        ``distributed_snapshot()`` (the ``distributed`` backend); datasets
+        sharing one backend instance report the same snapshot under each
+        name.  Empty when nothing distributed is registered.
+        """
+        payload: dict = {}
+        for name in self.catalog.names():
+            try:
+                backend = self.catalog.get(name).backend
+            except DatasetNotRegistered:  # evicted between names() and get()
+                continue
+            snapshot = getattr(backend, "distributed_snapshot", None)
+            if snapshot is None:
+                continue
+            try:
+                payload[name] = snapshot()
+            except Exception as exc:  # noqa: BLE001 - stats must not fail
+                payload[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return payload
 
 
 class ServerThread:

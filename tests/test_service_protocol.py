@@ -1,6 +1,15 @@
-"""Frame protocol round-trips and rejection of malformed frames."""
+"""Frame protocol round-trips and rejection of malformed frames.
 
+The distributed worker channel (:mod:`repro.distributed`) reuses this codec
+verbatim, so the adversarial-transport class below is load-bearing for two
+subsystems: torn frames at every byte boundary, oversized declared lengths
+rejected before any body read, and truncated-payload EOF.
+"""
+
+import asyncio
 import io
+import socket
+import threading
 
 import numpy as np
 import pytest
@@ -89,6 +98,142 @@ class TestMalformedFrames:
         frame = protocol._PREFIX.pack(protocol.MAGIC, len(head), 0) + head
         with pytest.raises(protocol.ProtocolError, match="JSON object"):
             _read_from_bytes(frame)
+
+
+class _RecordingReadExact:
+    """A ``read_exact`` callable that records every requested size."""
+
+    def __init__(self, data: bytes) -> None:
+        self._buf = io.BytesIO(data)
+        self.requested = []
+
+    def __call__(self, n: int) -> bytes:
+        self.requested.append(n)
+        return self._buf.read(n)
+
+
+class TestAdversarialTransport:
+    """Torn, truncated and oversized frames as a hostile peer would send them."""
+
+    FRAME = protocol.encode_frame({"op": "selfjoin_shard", "shard": 3},
+                                  b"\x07\x11" * 9)
+
+    def test_truncation_at_every_byte_boundary(self):
+        # EOF after i bytes, for every i: byte 0 is the only clean EOF;
+        # anywhere else inside the frame must raise, never block or return
+        # a partial frame.
+        frame = self.FRAME
+        assert _read_from_bytes(frame[:0]) is None
+        for i in range(1, len(frame)):
+            with pytest.raises(protocol.ProtocolError, match="truncated"):
+                _read_from_bytes(frame[:i])
+
+    def test_two_segment_delivery_at_every_byte_boundary(self):
+        # A frame torn into two socket segments at every boundary must
+        # decode identically: _recv_exact has to keep reading across the
+        # short first recv.
+        frame = self.FRAME
+        expected = _read_from_bytes(frame)
+        for i in range(1, len(frame)):
+            left, right = socket.socketpair()
+            try:
+                sender = threading.Thread(
+                    target=lambda i=i: (left.sendall(frame[:i]),
+                                        left.sendall(frame[i:]),
+                                        left.close()))
+                sender.start()
+                assert protocol.read_frame_sock(right) == expected
+                sender.join(timeout=5.0)
+            finally:
+                right.close()
+
+    def test_byte_dripped_socket_delivery(self):
+        # Worst-case fragmentation: every byte its own segment.
+        frame = self.FRAME
+        left, right = socket.socketpair()
+        try:
+            def drip():
+                for offset in range(len(frame)):
+                    left.sendall(frame[offset:offset + 1])
+                left.close()
+
+            sender = threading.Thread(target=drip)
+            sender.start()
+            assert protocol.read_frame_sock(right) == _read_from_bytes(frame)
+            sender.join(timeout=5.0)
+        finally:
+            right.close()
+
+    def test_socket_eof_mid_frame_raises(self):
+        frame = self.FRAME
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame[:len(frame) - 3])
+            left.close()
+            with pytest.raises(protocol.ProtocolError, match="truncated"):
+                protocol.read_frame_sock(right)
+        finally:
+            right.close()
+
+    def test_oversized_header_rejected_before_body_read(self):
+        # The declared-length checks must fire on the 16-byte prefix alone:
+        # no read for the (hostile, huge) body may ever be issued.
+        prefix = protocol._PREFIX.pack(protocol.MAGIC,
+                                       protocol.MAX_HEADER_BYTES + 1, 0)
+        reader = _RecordingReadExact(prefix + b"\x00" * 64)
+        with pytest.raises(protocol.ProtocolError, match="header length"):
+            protocol.read_frame(reader)
+        assert reader.requested == [protocol.PREFIX_BYTES]
+
+    def test_oversized_payload_rejected_before_body_read(self):
+        prefix = protocol._PREFIX.pack(protocol.MAGIC, 2, 1 << 40)
+        reader = _RecordingReadExact(prefix + b"{}")
+        with pytest.raises(protocol.ProtocolError, match="payload length"):
+            protocol.read_frame(reader)
+        assert reader.requested == [protocol.PREFIX_BYTES]
+
+    def test_truncated_payload_eof(self):
+        # Complete prefix + complete header, payload cut short at EOF.
+        frame = protocol.encode_frame({"op": "x"}, b"A" * 64)
+        for cut in (1, 32, 63):
+            with pytest.raises(protocol.ProtocolError, match="truncated"):
+                _read_from_bytes(frame[:len(frame) - cut])
+
+    def test_async_reader_torn_at_every_byte_boundary(self):
+        frame = self.FRAME
+        expected = _read_from_bytes(frame)
+
+        async def decode_split(i):
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame[:i])
+            reader.feed_data(frame[i:])
+            reader.feed_eof()
+            return await protocol.read_frame_async(reader)
+
+        async def run_all():
+            for i in range(1, len(frame)):
+                assert await decode_split(i) == expected
+
+        asyncio.run(run_all())
+
+    def test_async_reader_truncation(self):
+        frame = self.FRAME
+
+        async def read_partial(data):
+            reader = asyncio.StreamReader()
+            if data:
+                reader.feed_data(data)
+            reader.feed_eof()
+            return await protocol.read_frame_async(reader)
+
+        async def run_all():
+            assert await read_partial(b"") is None
+            for i in (1, protocol.PREFIX_BYTES - 1, protocol.PREFIX_BYTES,
+                      len(frame) - 1):
+                with pytest.raises(protocol.ProtocolError, match="truncated"):
+                    await read_partial(frame[:i])
+
+        asyncio.run(run_all())
 
 
 class TestArrayCodec:
