@@ -76,6 +76,11 @@ class KernelStats:
     #: (``"dense"``/``"sparse"``).  Under sharded execution one invocation is
     #: one shard, so this records the adaptive per-shard selection outcome.
     kernel_counts: Dict[str, int] = field(default_factory=dict)
+    #: Scheduling counters stamped by the parallel backends
+    #: (:meth:`repro.parallel.scheduler.ScheduleReport.counts`): shards
+    #: planned, steals, resplits, rebalances, hedges, re-dispatches and the
+    #: achieved-vs-predicted cost ratio.  Empty when execution was serial.
+    schedule_counts: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "KernelStats") -> "KernelStats":
         """Accumulate another batch's counters into this one (returns self)."""
@@ -91,6 +96,9 @@ class KernelStats:
                     set(self.tier.split("+")) | set(other.tier.split("+"))))
         for kernel, count in other.kernel_counts.items():
             self.kernel_counts[kernel] = self.kernel_counts.get(kernel, 0) + count
+        for counter, count in other.schedule_counts.items():
+            self.schedule_counts[counter] = \
+                self.schedule_counts.get(counter, 0) + count
         return self
 
 

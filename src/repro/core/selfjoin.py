@@ -21,8 +21,8 @@ the one-call convenience entry point used throughout the examples and tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -130,6 +130,11 @@ class JoinReport:
     #: Kernel tier that produced the numbers (``"numpy"``/``"numba"``), so
     #: experiment reports record which implementation tier ran.
     kernel_tier: str = "numpy"
+    #: Scheduling counters from the parallel backends (steals, resplits,
+    #: rebalances, hedges, ...; see
+    #: :attr:`repro.core.kernels.KernelStats.schedule_counts`); empty for
+    #: serial execution.
+    schedule_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def avg_neighbors(self) -> float:
@@ -208,6 +213,7 @@ class GPUSelfJoin:
             batch_report=engine_result.batch_report,
             includes_self_pairs=self.config.include_self,
             kernel_tier=engine_result.stats.tier or "numpy",
+            schedule_counts=dict(engine_result.stats.schedule_counts),
         )
         return result, report
 

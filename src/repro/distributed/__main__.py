@@ -39,13 +39,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--compute-threads", type=int, default=2,
                         help="shard compute threads (default: 2; one keeps "
                              "serving pings while another computes)")
+    parser.add_argument("--debug-sleep-ms", type=float, default=None,
+                        help="straggler injection: sleep this many ms before "
+                             "every shard op (default: the "
+                             "REPRO_WORKER_DEBUG_SLEEP_MS environment "
+                             "variable, else 0)")
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> None:
     server = WorkerServer(host=args.host, port=args.port,
                           store_root=args.store_root,
-                          compute_threads=args.compute_threads)
+                          compute_threads=args.compute_threads,
+                          debug_shard_sleep_ms=args.debug_sleep_ms)
     await server.start()
     print(f"repro-worker listening on {server.host}:{server.port}",
           flush=True)

@@ -9,21 +9,29 @@ as :mod:`repro.parallel.sharded` / :mod:`repro.parallel.mp`, executed by
   locally (nothing dataset-sized crosses the wire) or as arrays shipped
   one time — after which every query of the session dispatches shard
   requests against the workers' resident per-ε index caches.
-* Shards are assigned by the same sampled cost model as the local
+* Shards are *planned* by the same sampled cost model as the local
   backends (``estimate_cell_costs`` inside
   :class:`~repro.parallel.shards.ShardPlanner` for self-joins,
-  ``estimate_probe_row_costs`` / ``split_by_cost`` for probes), with mild
-  oversubscription so early finishers pick up remaining shards instead of
-  idling.
-* Returned pair fragments stream **straight into the caller's sink** as
-  each shard's chunk frames arrive — the merge path is the one every
-  other backend uses, nothing result-sized is buffered per worker, and
-  for the disk-streamed path peak parent RSS stays O(largest shard).
+  ``estimate_probe_row_costs`` / ``split_by_cost`` for probes) and
+  *executed* by the pull-based work-stealing scheduler of
+  :mod:`repro.parallel.scheduler`: ~4× oversplit, largest shards first, a
+  bounded per-worker outstanding ``window``, an EWMA of observed
+  per-worker throughput steering steals and mid-join rebalances away from
+  slow workers, in-flight resplitting at B-order boundaries when the
+  queue runs dry, and hedging only as the last resort
+  (``scheduling="static"`` pins the cost-balanced initial assignment
+  instead — the benchmark baseline).
+* Returned pair fragments stream **straight into the caller's sink** in
+  B-order shard order (out-of-order completions are buffered per shard id
+  by :class:`~repro.parallel.scheduler.OrderedShardMerger`) — the merge
+  path is the one every other backend uses, results are bit-identical to
+  static assignment regardless of completion order, worker count or
+  injected stragglers, and for the disk-streamed path peak parent RSS
+  stays O(largest shard).
 * A shard on a **dead** worker (connection drop, process kill) is
-  re-dispatched to the survivors; a shard on a **slow** worker is hedged
-  — a duplicate is dispatched to an idle worker after ``hedge_after``
-  seconds — and duplicates are deduplicated by shard id, so results stay
-  bit-identical under both fault modes.
+  re-dispatched to the survivors; duplicates (hedges, resplit halves,
+  re-dispatches) are deduplicated by shard key, so results stay
+  bit-identical under every fault mode.
 * The cooperative-cancellation scope of the calling thread
   (:mod:`repro.utils.cancellation`) is threaded through the dispatch
   loop *and* into every shard request as a ``deadline_ms`` budget, so an
@@ -41,6 +49,7 @@ local worker per CPU.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import os
 import queue
@@ -71,13 +80,17 @@ from repro.distributed.worker import (
     DEFAULT_CHUNK_PAIRS,
     stats_from_wire,
 )
+from repro.parallel.scheduler import (
+    OVERSPLIT_FACTOR,
+    SCHEDULING_MODES,
+    OrderedShardMerger,
+    ScheduleExhausted,
+    ShardTask,
+    WorkStealingScheduler,
+)
 from repro.parallel.shards import ShardPlanner, default_worker_count
 from repro.service import protocol
 from repro.utils.cancellation import check_cancelled, current_token
-
-#: Shards created per worker endpoint (same rationale as the multiprocess
-#: backend: oversubscription smooths sampled-cost estimation error).
-SHARDS_PER_WORKER = 2
 
 #: Environment override for the bare ``distributed`` spec: an integer spawns
 #: that many localhost workers; ``host:port,host:port`` uses running ones.
@@ -145,12 +158,22 @@ class LocalWorkerPool:
     (``python -m repro.distributed``), so the pool exercises exactly what a
     multi-node deployment runs — the fault tests kill these processes
     mid-join through :attr:`processes`.
+
+    ``worker_envs`` (aligned with the workers, ``None`` entries inherit the
+    parent environment unchanged) merges extra environment variables into
+    individual workers — the straggler-injection tests use it to start one
+    worker with ``REPRO_WORKER_DEBUG_SLEEP_MS`` so that exactly that worker
+    sleeps per shard.
     """
 
     def __init__(self, n_workers: int, *,
-                 store_root: Optional[str] = None) -> None:
+                 store_root: Optional[str] = None,
+                 worker_envs: Optional[Sequence[Optional[dict]]] = None,
+                 ) -> None:
         if int(n_workers) < 1:
             raise ValueError("n_workers must be >= 1")
+        if worker_envs is not None and len(worker_envs) != int(n_workers):
+            raise ValueError("worker_envs must align with n_workers")
         self.processes: List[subprocess.Popen] = []
         self._addresses: List[Address] = []
         self._finalizer = weakref.finalize(self, _terminate_processes,
@@ -160,10 +183,14 @@ class LocalWorkerPool:
         if store_root is not None:
             cmd += ["--store-root", str(store_root)]
         try:
-            for _ in range(int(n_workers)):
+            for i in range(int(n_workers)):
+                env = None
+                if worker_envs is not None and worker_envs[i]:
+                    env = {**os.environ, **{k: str(v) for k, v
+                                            in worker_envs[i].items()}}
                 proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
                                         stderr=subprocess.DEVNULL,
-                                        text=True)
+                                        text=True, env=env)
                 self.processes.append(proc)
                 self._addresses.append(self._read_banner(proc))
         except Exception:
@@ -234,10 +261,16 @@ class DistributedStats:
     """Dispatch counters of one :class:`DistributedBackend` instance.
 
     ``shards_redispatched`` counts shards re-queued off dead (or
-    worker-side-cancelled) workers; ``shards_hedged`` duplicates dispatched
-    against stragglers; ``hedge_wasted_shards``/``hedge_wasted_pairs`` the
-    work a lost hedge race threw away.  All three groups surface in the
-    query service's stats endpoint.
+    worker-side-cancelled) workers; ``shards_stolen`` / ``shards_resplit``
+    / ``shards_rebalanced`` the adaptive scheduler's interventions;
+    ``shards_hedged`` last-resort duplicates dispatched against stragglers;
+    ``hedge_wasted_*`` / ``resplit_wasted_*`` the work a lost duplicate
+    race actually threw away, while ``duplicates_dropped`` counts stale
+    copies dropped *without* executing (no work wasted — the hedge
+    accounting distinguishes the two).  ``last_schedule`` is the full
+    :meth:`~repro.parallel.scheduler.ScheduleReport.snapshot` of the most
+    recent join (per-worker throughput, achieved-vs-predicted cost ratio).
+    All of it surfaces in the query service's stats endpoint.
     """
 
     attach_rpcs: int = 0
@@ -245,10 +278,17 @@ class DistributedStats:
     datasets_detached: int = 0
     shards_dispatched: int = 0
     shards_redispatched: int = 0
+    shards_stolen: int = 0
+    shards_resplit: int = 0
+    shards_rebalanced: int = 0
     shards_hedged: int = 0
     hedge_wasted_shards: int = 0
     hedge_wasted_pairs: int = 0
+    resplit_wasted_shards: int = 0
+    resplit_wasted_pairs: int = 0
+    duplicates_dropped: int = 0
     worker_failures: int = 0
+    last_schedule: Optional[dict] = None
 
     def snapshot(self) -> dict:
         return {"attach_rpcs": self.attach_rpcs,
@@ -256,28 +296,54 @@ class DistributedStats:
                 "datasets_detached": self.datasets_detached,
                 "shards_dispatched": self.shards_dispatched,
                 "shards_redispatched": self.shards_redispatched,
+                "shards_stolen": self.shards_stolen,
+                "shards_resplit": self.shards_resplit,
+                "shards_rebalanced": self.shards_rebalanced,
                 "shards_hedged": self.shards_hedged,
                 "hedge_wasted_shards": self.hedge_wasted_shards,
                 "hedge_wasted_pairs": self.hedge_wasted_pairs,
-                "worker_failures": self.worker_failures}
+                "resplit_wasted_shards": self.resplit_wasted_shards,
+                "resplit_wasted_pairs": self.resplit_wasted_pairs,
+                "duplicates_dropped": self.duplicates_dropped,
+                "worker_failures": self.worker_failures,
+                "last_schedule": self.last_schedule}
 
 
-class _Task:
-    """One shard request: wire header + payload plus dispatch bookkeeping."""
+@dataclass
+class _RequestContext:
+    """Builds the wire request for any copy of one operator's shard tasks.
 
-    __slots__ = ("shard_id", "header", "payload", "key_map", "attempts")
+    Requests are built *at dispatch time* from the :class:`ShardTask`
+    itself, so a mid-join resplit child — whose cell slice did not exist at
+    planning time — ships exactly its own half of the parent's cells (or
+    probe rows, or store directory span).
+    """
 
-    def __init__(self, shard_id: int, header: dict, payload: bytes,
-                 key_map: Optional[np.ndarray] = None) -> None:
-        self.shard_id = shard_id
-        self.header = header
-        self.payload = payload
-        self.key_map = key_map
-        self.attempts = 0
+    op: str                              # selfjoin_shard|probe_shard|stream_shard
+    dataset: str
+    base: dict                           # op-specific constant header fields
+    queries: Optional[np.ndarray] = None  # probe: full query array
 
+    def build(self, task: ShardTask) -> Tuple[dict, bytes]:
+        header = dict(self.base)
+        header["op"] = self.op
+        header["dataset"] = self.dataset
+        header["shard"] = list(task.key)
+        if self.op == "selfjoin_shard":
+            meta, payload = protocol.pack_arrays([("cells", task.cells)])
+            header["arrays"] = meta
+            return header, payload
+        if self.op == "probe_shard":
+            meta, payload = protocol.pack_arrays(
+                [("queries", self.queries[task.cells])])
+            header["arrays"] = meta
+            return header, payload
+        header["lo"], header["hi"] = int(task.span[0]), int(task.span[1])
+        return header, b""
 
-#: Sentinel telling an endpoint thread to exit.
-_POISON = object()
+    def key_map(self, task: ShardTask) -> Optional[np.ndarray]:
+        """Probe shards re-base slice-local result rows onto global rows."""
+        return task.cells if self.op == "probe_shard" else None
 
 
 # --------------------------------------------------------------------------
@@ -297,15 +363,25 @@ class DistributedBackend(ExecutionBackend):
     inner:
         Backend each worker executes per shard.
     n_shards:
-        Shard count (``workers * SHARDS_PER_WORKER`` when omitted).
+        Shard count (``workers * scheduler.OVERSPLIT_FACTOR`` when omitted
+        — the pull queue's rebalancing slack).
     seed:
         Seed of the sampled cost estimates (reproducible shard plans).
     kernel:
         Kernel-tier spec threaded into the workers' inner backend.
+    scheduling:
+        ``"adaptive"`` (default): the work-stealing scheduler — steal,
+        mid-join rebalance, in-flight resplit, hedge last.  ``"static"``:
+        every worker is pinned to its cost-balanced initial queue and only
+        hedging may duplicate work (the benchmark baseline).
+    window:
+        Bounded per-worker outstanding window: how many shard requests may
+        be in flight to one worker at once (each gets its own connection
+        thread, so ``window=2`` overlaps a worker's compute threads).
     hedge_after:
-        Seconds an in-flight shard may run — while other workers idle and
-        no work is queued — before a duplicate is dispatched; ``0``
-        disables hedging.
+        Seconds a lone in-flight shard may run — while other workers idle,
+        no work is queued and (adaptive) nothing is splittable — before a
+        duplicate is dispatched; ``0`` disables hedging.
     connect_timeout:
         Socket connect/attach timeout per worker RPC.
     chunk_pairs:
@@ -325,7 +401,8 @@ class DistributedBackend(ExecutionBackend):
 
     def __init__(self, *spec, inner: str = "vectorized",
                  n_shards: Optional[int] = None, seed: int = 0,
-                 kernel: str = "auto", hedge_after: float = 0.25,
+                 kernel: str = "auto", scheduling: str = "adaptive",
+                 window: int = 1, hedge_after: float = 0.25,
                  connect_timeout: float = 10.0,
                  chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
                  debug_shard_sleep_ms: float = 0.0,
@@ -335,6 +412,13 @@ class DistributedBackend(ExecutionBackend):
         self.inner_name = compose_kernel_spec(str(inner), self.kernel_spec)
         self.n_shards = int(n_shards) if n_shards is not None else None
         self.seed = int(seed)
+        if str(scheduling) not in SCHEDULING_MODES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_MODES}")
+        self.scheduling = str(scheduling)
+        if int(window) < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
         self.hedge_after = float(hedge_after)
         self.connect_timeout = float(connect_timeout)
         self.chunk_pairs = int(chunk_pairs)
@@ -417,7 +501,7 @@ class DistributedBackend(ExecutionBackend):
                 self._pool = None
 
     def _resolved_shards(self, n_endpoints: int) -> int:
-        return self.n_shards or max(1, n_endpoints) * SHARDS_PER_WORKER
+        return self.n_shards or max(1, n_endpoints) * OVERSPLIT_FACTOR
 
     # ------------------------------------------------------ session lifecycle
     @staticmethod
@@ -480,10 +564,50 @@ class DistributedBackend(ExecutionBackend):
                              points=None)
 
     def _attach_rpc(self, header: dict, payload: bytes) -> None:
-        for address in self.endpoints():
-            reply, _ = worker_request(address, header, payload,
-                                      timeout=self.connect_timeout,
-                                      max_payload=self.max_payload)
+        """Attach the dataset on **all** workers concurrently.
+
+        The per-worker attach RPCs are independent (each worker maps the
+        store / unpacks the arrays and builds nothing shared), so they run
+        under one ``asyncio.gather`` — cold-start latency is the *slowest*
+        worker's attach, not the sum of all of them (~N× faster than the
+        sequential loop this replaces, for N workers).
+        """
+        endpoints = self.endpoints()
+        frame = protocol.encode_frame(header, payload)
+        timeout = self.connect_timeout
+
+        async def _attach_one(address: Address):
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*address), timeout)
+            try:
+                writer.write(frame)
+                await writer.drain()
+                reply = await asyncio.wait_for(
+                    protocol.read_frame_async(reader, self.max_payload),
+                    timeout)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, asyncio.CancelledError):  # pragma: no cover
+                    pass
+            if reply is None:
+                raise protocol.ProtocolError(
+                    f"worker {_format_address(address)} closed the "
+                    "connection before replying to attach")
+            return reply[0]
+
+        async def _attach_all():
+            return await asyncio.gather(
+                *(_attach_one(address) for address in endpoints),
+                return_exceptions=True)
+
+        replies = asyncio.run(_attach_all())
+        for address, reply in zip(endpoints, replies):
+            if isinstance(reply, BaseException):
+                raise WorkerTaskFailed(
+                    f"attach to worker {_format_address(address)} failed: "
+                    f"{type(reply).__name__}: {reply}") from reply
             with self._lock:
                 self.stats.attach_rpcs += 1
             if reply.get("status") != protocol.STATUS_OK:
@@ -541,7 +665,6 @@ class DistributedBackend(ExecutionBackend):
         endpoints = self.endpoints()
         plan = ShardPlanner(n_shards=self._resolved_shards(len(endpoints)),
                             seed=self.seed).plan(index, cells)
-        shards = [shard for shard in plan.shards if shard.shape[0]]
         state = self._state_for_points(index.points)
         ephemeral = state is None
         if ephemeral:
@@ -551,15 +674,19 @@ class DistributedBackend(ExecutionBackend):
             state = self._attach_arrays(index.points)
         try:
             tasks = []
-            for i, shard in enumerate(shards):
-                meta, payload = protocol.pack_arrays([("cells", shard)])
-                tasks.append(_Task(i, {
-                    "op": "selfjoin_shard", "dataset": state.name, "shard": i,
-                    "index_eps": float(index.eps), "eps": float(eps),
-                    "unicomp": bool(unicomp),
-                    "max_candidate_pairs": int(max_candidate_pairs),
-                    "chunk_pairs": self.chunk_pairs, "arrays": meta}, payload))
-            return self._execute_tasks(endpoints, tasks, sink)
+            for shard, cell_costs in zip(plan.shards, plan.cell_costs):
+                if shard.shape[0] == 0:
+                    continue
+                tasks.append(ShardTask(
+                    key=(len(tasks),), cost=float(cell_costs.sum()),
+                    kind="selfjoin", cells=shard, item_costs=cell_costs))
+            ctx = _RequestContext(op="selfjoin_shard", dataset=state.name,
+                                  base={
+                "index_eps": float(index.eps), "eps": float(eps),
+                "unicomp": bool(unicomp),
+                "max_candidate_pairs": int(max_candidate_pairs),
+                "chunk_pairs": self.chunk_pairs})
+            return self._execute_tasks(endpoints, tasks, ctx, sink)
         finally:
             if ephemeral:
                 self._detach_everywhere(state)
@@ -578,27 +705,25 @@ class DistributedBackend(ExecutionBackend):
             costs = estimate_probe_row_costs(queries[rows], index,
                                              seed=self.seed)
             queries_arr = np.asarray(queries, dtype=np.float64)
+            # Workers emit slice-local keys; the task's global row ids
+            # (``cells``) double as the key_map re-basing them at merge
+            # time (each query row crosses the wire once per query copy,
+            # not once per task).
             tasks = []
-            shard_id = 0
             for group in split_by_cost(costs,
                                        self._resolved_shards(len(endpoints))):
                 if group.shape[0] == 0:
                     continue
-                group_rows = rows[group]
-                meta, payload = protocol.pack_arrays(
-                    [("queries", queries_arr[group_rows])])
-                # Workers emit slice-local keys; key_map re-bases them onto
-                # the global query rows at merge time (each query row
-                # crosses the wire once per query, not once per task).
-                tasks.append(_Task(shard_id, {
-                    "op": "probe_shard", "dataset": state.name,
-                    "shard": shard_id, "index_eps": float(index.eps),
-                    "eps": float(eps),
-                    "max_candidate_pairs": int(max_candidate_pairs),
-                    "chunk_pairs": self.chunk_pairs, "arrays": meta},
-                    payload, key_map=group_rows))
-                shard_id += 1
-            return self._execute_tasks(endpoints, tasks, sink)
+                tasks.append(ShardTask(
+                    key=(len(tasks),), cost=float(costs[group].sum()),
+                    kind="probe", cells=rows[group],
+                    item_costs=costs[group].astype(np.float64)))
+            ctx = _RequestContext(op="probe_shard", dataset=state.name,
+                                  queries=queries_arr, base={
+                "index_eps": float(index.eps), "eps": float(eps),
+                "max_candidate_pairs": int(max_candidate_pairs),
+                "chunk_pairs": self.chunk_pairs})
+            return self._execute_tasks(endpoints, tasks, ctx, sink)
         finally:
             if ephemeral:
                 self._detach_everywhere(state)
@@ -628,124 +753,150 @@ class DistributedBackend(ExecutionBackend):
         if ephemeral:
             state = self._attach_store(descriptor)
         try:
-            slices = split_by_cost(source.cell_counts.astype(np.float64),
+            counts = source.cell_counts.astype(np.float64)
+            slices = split_by_cost(counts,
                                    self._resolved_shards(len(endpoints)))
             tasks = []
-            shard_id = 0
             for cells in slices:
                 if cells.shape[0] == 0:
                     continue
-                tasks.append(_Task(shard_id, {
-                    "op": "stream_shard", "dataset": state.name,
-                    "shard": shard_id, "lo": int(cells[0]),
-                    "hi": int(cells[-1]) + 1, "eps": float(eps),
-                    "max_candidate_pairs": int(max_candidate_pairs),
-                    "chunk_pairs": self.chunk_pairs}, b""))
-                shard_id += 1
-            return self._execute_tasks(endpoints, tasks, sink)
+                lo, hi = int(cells[0]), int(cells[-1]) + 1
+                tasks.append(ShardTask(
+                    key=(len(tasks),), cost=float(counts[lo:hi].sum()),
+                    kind="stream", span=(lo, hi),
+                    item_costs=counts[lo:hi]))
+            ctx = _RequestContext(op="stream_shard", dataset=state.name,
+                                  base={
+                "eps": float(eps),
+                "max_candidate_pairs": int(max_candidate_pairs),
+                "chunk_pairs": self.chunk_pairs})
+            return self._execute_tasks(endpoints, tasks, ctx, sink)
         finally:
             if ephemeral:
                 self._detach_everywhere(state)
 
     # ----------------------------------------------------------- dispatch loop
-    def _execute_tasks(self, endpoints: Sequence[Address], tasks: List[_Task],
+    def _execute_tasks(self, endpoints: Sequence[Address],
+                       tasks: List[ShardTask], ctx: _RequestContext,
                        sink) -> KernelStats:
-        """Dispatch shard tasks across the workers; merge into ``sink``.
+        """Schedule shard tasks across the workers; merge into ``sink``.
 
-        One thread per endpoint pulls tasks off a shared queue, runs the
-        request/stream round-trip, and posts events back; this loop owns
-        all sink emission and bookkeeping.  Failure semantics:
+        The :class:`~repro.parallel.scheduler.WorkStealingScheduler` owns
+        every dispatch decision; this loop is its event pump.  ``window``
+        connection threads per endpoint pull built requests off that
+        endpoint's queue, run the request/stream round-trip and post events
+        back; this loop feeds each worker while its outstanding count is
+        under ``window``, and all sink emission goes through the
+        :class:`~repro.parallel.scheduler.OrderedShardMerger`, so fragments
+        reach the sink strictly in B-order shard order no matter the
+        completion order.  Failure semantics:
 
         * socket/protocol error → the endpoint is considered dead, its
-          in-flight shard re-queued for the survivors
+          queued and in-flight shards re-queued for the survivors
           (``shards_redispatched``); all endpoints dead raises.
-        * worker-side ``timeout``/``cancelled`` → re-queued (if the
-          *parent's* deadline expired, ``check_cancelled()`` unwinds this
-          loop first).
+        * worker-side ``timeout``/``cancelled`` → re-queued **unless the
+          shard is already covered** — a cancelled hedge whose original
+          completed is dropped without a retry and without counting as
+          hedge waste (if the *parent's* deadline expired,
+          ``check_cancelled()`` unwinds this loop first).
         * worker-side ``error`` → raised immediately (deterministic
           failures don't improve with retries); per-shard attempts are
           bounded either way.
-        * straggler → duplicate dispatched after ``hedge_after`` seconds
-          of queue-empty idleness; completions dedupe by shard id.
+        * queue dry → the scheduler first *splits* the largest in-flight
+          shard at a B-order boundary and races the halves; hedging a full
+          duplicate is the last resort for unsplittable work.
         """
         stats = KernelStats()
         if not tasks:
             return stats
         token = current_token()   # thread-locals don't cross threads: capture
-        max_attempts = len(endpoints) + 2
-        task_queue: "queue.Queue" = queue.Queue()
+        names = [_format_address(address) for address in endpoints]
+        sched = WorkStealingScheduler(
+            tasks, names, mode=self.scheduling, hedge_after=self.hedge_after,
+            max_attempts=len(endpoints) + 2)
+        merger = OrderedShardMerger(sink, sched.roots)
+        #: Roots already covered — read lock-free by endpoint threads to
+        #: skip stale queued copies before wasting a round-trip on them.
+        covered: Set[int] = set()
         events: "queue.Queue" = queue.Queue()
         stop = threading.Event()
-        tasks_by_id = {task.shard_id: task for task in tasks}
-        for task in tasks:
-            task.attempts += 1
-            task_queue.put(task)
-        with self._lock:
-            self.stats.shards_dispatched += len(tasks)
-        live: Dict[Address, threading.Thread] = {}
-        for address in endpoints:
-            thread = threading.Thread(
-                target=self._endpoint_worker,
-                args=(address, task_queue, events, stop, token),
-                name=f"repro-dist-{_format_address(address)}", daemon=True)
-            thread.start()
-            live[address] = thread
-        threads = list(live.values())
-        completed: Set[int] = set()
-        in_flight: Dict[int, Dict[Address, float]] = {}
+        endpoint_queues: Dict[str, "queue.Queue"] = {
+            name: queue.Queue() for name in names}
+        threads: List[threading.Thread] = []
+        for name, address in zip(names, endpoints):
+            for slot in range(self.window):
+                thread = threading.Thread(
+                    target=self._endpoint_worker,
+                    args=(name, address, endpoint_queues[name], events, stop,
+                          covered, token),
+                    name=f"repro-dist-{name}#{slot}", daemon=True)
+                thread.start()
+                threads.append(thread)
+
+        def _fill(now: float) -> None:
+            """Pull work for every worker with window capacity."""
+            for name in sched.alive_workers():
+                while sched.outstanding_count(name) < self.window:
+                    task = sched.next_task(name, now)
+                    if task is None:
+                        break
+                    header, payload = ctx.build(task)
+                    endpoint_queues[name].put((task, header, payload))
+                    with self._lock:
+                        self.stats.shards_dispatched += 1
+
         try:
-            while len(completed) < len(tasks_by_id):
+            _fill(time.monotonic())
+            while not sched.finished():
                 check_cancelled()
                 try:
                     event = events.get(timeout=_POLL_SECONDS)
                 except queue.Empty:
-                    self._maybe_hedge(task_queue, tasks_by_id, live,
-                                      in_flight, completed, max_attempts)
+                    now = time.monotonic()
+                    sched.maybe_rebalance(now)
+                    _fill(now)
                     continue
-                kind = event[0]
+                now = time.monotonic()
+                kind, name = event[0], event[1]
                 if kind == "start":
-                    _, address, task, started = event
-                    in_flight.setdefault(task.shard_id, {})[address] = started
+                    sched.on_start(name, event[2].key, event[3])
+                elif kind == "skip":
+                    sched.on_skipped(name, event[2].key)
                 elif kind == "done":
-                    _, address, task, chunks, end = event
-                    in_flight.get(task.shard_id, {}).pop(address, None)
-                    if task.shard_id in completed:
-                        # The lost side of a hedge race: drop the duplicate.
-                        with self._lock:
-                            self.stats.hedge_wasted_shards += 1
-                            self.stats.hedge_wasted_pairs += \
-                                int(end.get("pairs", 0) or 0)
-                        continue
+                    _, _, task, chunks, end = event
                     final = end.get("final")
                     if final == "ok":
-                        for keys, values in chunks:
-                            if task.key_map is not None:
-                                keys = task.key_map[keys]
-                            sink.emit(keys, values)
-                        stats.merge(stats_from_wire(end.get("stats") or {}))
-                        completed.add(task.shard_id)
+                        completion = sched.on_complete(
+                            name, task.key, now,
+                            pairs=int(end.get("pairs", 0) or 0))
+                        if completion.accepted:
+                            merger.stash(task.key, chunks,
+                                         key_map=ctx.key_map(task))
+                            stats.merge(stats_from_wire(
+                                end.get("stats") or {}))
+                        if completion.newly_covered is not None:
+                            root, chosen = completion.newly_covered
+                            covered.add(root)
+                            merger.complete(root, chosen)
                     elif final in ("timeout", "cancelled"):
-                        self._requeue(task, task_queue, max_attempts,
-                                      f"worker-side {final}")
+                        sched.on_failure(name, task.key, now,
+                                         reason=f"worker-side {final}")
                     else:
                         raise WorkerTaskFailed(
-                            f"shard {task.shard_id} failed on worker "
-                            f"{_format_address(address)}: "
+                            f"shard {task.key} failed on worker {name}: "
                             f"{end.get('message', end)}")
                 elif kind == "dead":
-                    _, address, task, message = event
-                    in_flight.get(task.shard_id, {}).pop(address, None)
-                    live.pop(address, None)
+                    _, _, task, message = event
                     with self._lock:
                         self.stats.worker_failures += 1
-                    if task.shard_id not in completed:
-                        self._requeue(task, task_queue, max_attempts,
-                                      f"worker died ({message})")
-                    if not live:
+                    sched.on_worker_dead(name, now)
+                    if not sched.alive_workers():
                         raise WorkerTaskFailed(
                             "no distributed workers left alive; last "
-                            f"failure on {_format_address(address)}: "
-                            f"{message}")
+                            f"failure on {name}: {message}")
+                _fill(time.monotonic())
+        except ScheduleExhausted as exc:
+            raise WorkerTaskFailed(str(exc)) from exc
         finally:
             stop.set()
             # Closing in-flight sockets interrupts endpoint threads blocked
@@ -753,70 +904,53 @@ class DistributedBackend(ExecutionBackend):
             self._close_open_sockets()
             for thread in threads:
                 thread.join(timeout=5.0)
+        report = sched.finalize_report(
+            achieved_cost=float(stats.distance_calcs))
+        stats.schedule_counts = report.counts()
+        with self._lock:
+            self.stats.shards_stolen += report.steals
+            self.stats.shards_resplit += report.resplits
+            self.stats.shards_rebalanced += report.rebalances
+            self.stats.shards_hedged += report.hedges
+            self.stats.shards_redispatched += report.redispatches
+            self.stats.duplicates_dropped += report.duplicates_dropped
+            self.stats.hedge_wasted_shards += report.hedge_wasted_shards
+            self.stats.hedge_wasted_pairs += report.hedge_wasted_pairs
+            self.stats.resplit_wasted_shards += report.resplit_wasted_shards
+            self.stats.resplit_wasted_pairs += report.resplit_wasted_pairs
+            self.stats.last_schedule = report.snapshot()
         return stats
 
-    def _requeue(self, task: _Task, task_queue: "queue.Queue",
-                 max_attempts: int, reason: str) -> None:
-        if task.attempts >= max_attempts:
-            raise WorkerTaskFailed(
-                f"shard {task.shard_id} failed after {task.attempts} "
-                f"attempts; last reason: {reason}")
-        task.attempts += 1
-        with self._lock:
-            self.stats.shards_redispatched += 1
-        task_queue.put(task)
-
-    def _maybe_hedge(self, task_queue: "queue.Queue",
-                     tasks_by_id: Dict[int, _Task],
-                     live: Dict[Address, threading.Thread],
-                     in_flight: Dict[int, Dict[Address, float]],
-                     completed: Set[int], max_attempts: int) -> None:
-        """Dispatch one straggler duplicate when capacity is idle."""
-        if self.hedge_after <= 0 or not task_queue.empty():
-            return
-        busy = sum(1 for holders in in_flight.values() if holders)
-        if len(live) - busy <= 0:
-            return
-        now = time.monotonic()
-        for shard_id, holders in in_flight.items():
-            if shard_id in completed or len(holders) != 1:
-                continue
-            started = next(iter(holders.values()))
-            task = tasks_by_id[shard_id]
-            if now - started < self.hedge_after \
-                    or task.attempts >= max_attempts:
-                continue
-            task.attempts += 1
-            with self._lock:
-                self.stats.shards_hedged += 1
-            task_queue.put(task)
-            return  # at most one hedge per poll tick
-
     # ------------------------------------------------------- endpoint threads
-    def _endpoint_worker(self, address: Address, task_queue: "queue.Queue",
-                         events: "queue.Queue", stop: threading.Event,
+    def _endpoint_worker(self, name: str, address: Address,
+                         work_queue: "queue.Queue", events: "queue.Queue",
+                         stop: threading.Event, covered: Set[int],
                          token) -> None:
         while not stop.is_set():
             try:
-                task = task_queue.get(timeout=_POLL_SECONDS)
+                task, header, payload = work_queue.get(timeout=_POLL_SECONDS)
             except queue.Empty:
                 continue
-            if task is _POISON:  # pragma: no cover - defensive
-                return
-            events.put(("start", address, task, time.monotonic()))
+            if task.root in covered:
+                # Stale copy: its shard was covered while this was queued.
+                events.put(("skip", name, task))
+                continue
+            events.put(("start", name, task, time.monotonic()))
             try:
-                chunks, end = self._request_shard(address, task, token)
+                chunks, end = self._request_shard(address, header, payload,
+                                                  token)
             except (OSError, protocol.ProtocolError) as exc:
                 if not stop.is_set():
-                    events.put(("dead", address, task,
+                    events.put(("dead", name, task,
                                 f"{type(exc).__name__}: {exc}"))
                 return  # endpoint presumed dead; let survivors drain the queue
-            events.put(("done", address, task, chunks, end))
+            events.put(("done", name, task, chunks, end))
 
-    def _request_shard(self, address: Address, task: _Task, token,
+    def _request_shard(self, address: Address, header: dict, payload: bytes,
+                       token,
                        ) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], dict]:
         """One shard round-trip: send the request, collect its chunk stream."""
-        header = dict(task.header)
+        header = dict(header)
         if self.debug_shard_sleep_ms > 0:
             header["debug_sleep_ms"] = self.debug_shard_sleep_ms
         if token is not None and token.deadline is not None:
@@ -830,7 +964,7 @@ class DistributedBackend(ExecutionBackend):
             self._open_sockets.add(sock)
         try:
             sock.settimeout(None)   # shard compute takes as long as it takes
-            sock.sendall(protocol.encode_frame(header, task.payload))
+            sock.sendall(protocol.encode_frame(header, payload))
             chunks: List[Tuple[np.ndarray, np.ndarray]] = []
             while True:
                 frame = protocol.read_frame_sock(sock, self.max_payload)

@@ -44,6 +44,7 @@ service's ``ServerThread``).
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -81,6 +82,12 @@ DEFAULT_CHUNK_PAIRS = 262_144
 #: use the sleep to hold a shard in flight; a deadline must still interrupt
 #: it promptly).
 _SLEEP_CHECK_SECONDS = 0.01
+
+#: Environment override turning a worker into a deliberate straggler: every
+#: shard op sleeps this many milliseconds (cancellation-checkpointed) before
+#: computing.  The straggler-injection tests start one worker of a pool with
+#: this set and assert the scheduler routes work around it.
+DEBUG_SLEEP_ENV_VAR = "REPRO_WORKER_DEBUG_SLEEP_MS"
 
 
 def stats_to_wire(stats: KernelStats) -> dict:
@@ -201,11 +208,20 @@ class WorkerServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  store_root: Optional[str] = None,
                  max_payload: int = protocol.DEFAULT_MAX_PAYLOAD_BYTES,
-                 compute_threads: int = 2) -> None:
+                 compute_threads: int = 2,
+                 debug_shard_sleep_ms: Optional[float] = None) -> None:
         self.host = host
         self.port = int(port)
         self.store_root = (Path(store_root).resolve()
                            if store_root is not None else None)
+        if debug_shard_sleep_ms is None:
+            # Straggler-injection hook: the environment variable slows
+            # *this whole worker* down by a fixed per-shard sleep, so the
+            # scheduler tests can start a mixed pool with exactly one slow
+            # subprocess (see ``LocalWorkerPool(worker_envs=...)``).
+            debug_shard_sleep_ms = float(
+                os.environ.get(DEBUG_SLEEP_ENV_VAR, "0") or 0)
+        self.debug_shard_sleep_ms = float(debug_shard_sleep_ms)
         self.max_payload = int(max_payload)
         self.stats = WorkerStats()
         self._datasets: Dict[str, _AttachedDataset] = {}
@@ -402,7 +418,8 @@ class WorkerServer:
                  if deadline_ms is not None else None)
         try:
             with cancel_scope(token):
-                sleep_ms = float(header.get("debug_sleep_ms", 0) or 0)
+                sleep_ms = max(float(header.get("debug_sleep_ms", 0) or 0),
+                               self.debug_shard_sleep_ms)
                 if sleep_ms > 0:
                     _interruptible_sleep(sleep_ms / 1000.0)
                 if op == "selfjoin_shard":

@@ -104,9 +104,34 @@ def engine_backend_of(algorithm: str) -> Optional[str]:
     return f"{backend}(kernel={kernel})"
 
 
+class Measurement(tuple):
+    """``(mean_time_s, std_time_s, num_pairs)`` plus schedule counters.
+
+    A plain 3-tuple to every existing caller (unpacking and indexing keep
+    working), with the executed backend's
+    :attr:`~repro.core.kernels.KernelStats.schedule_counts` riding along so
+    ``Engine[...]`` measurements can surface steal/resplit/hedge counts and
+    the achieved-vs-predicted cost ratio in figure reports.
+    """
+
+    schedule: Dict[str, int]
+
+    def __new__(cls, mean: float, std: float, pairs: int,
+                schedule: Optional[Dict[str, int]] = None) -> "Measurement":
+        self = super().__new__(cls, (float(mean), float(std), int(pairs)))
+        self.schedule = dict(schedule or {})
+        return self
+
+
 @dataclass
 class TimingRecord:
-    """One measured point of a response-time figure."""
+    """One measured point of a response-time figure.
+
+    ``extra`` carries per-measurement scheduling observability for
+    ``Engine[...]`` algorithms (steals, resplits, hedges, cost_ratio_pct —
+    see :class:`repro.parallel.scheduler.ScheduleReport`); empty for the
+    paper-baseline algorithms, which have no scheduler.
+    """
 
     dataset: str
     eps: float
@@ -259,13 +284,16 @@ def run_algorithm_sweep(algorithm: str, points: np.ndarray,
         for eps in eps_values:
             times: List[float] = []
             num_pairs = 0
+            schedule: Dict[str, int] = {}
             for _ in range(max(1, trials)):
                 with Timer() as t:
                     result = session.self_join(float(eps), unicomp=unicomp)
                     num_pairs = result.num_pairs
                 times.append(t.elapsed)
+                schedule = dict(result.stats.schedule_counts)
             mean, std = mean_and_std(times)
-            measurements.append((mean, std, num_pairs))
+            measurements.append(Measurement(mean, std, num_pairs,
+                                            schedule=schedule))
     return measurements
 
 
@@ -317,9 +345,13 @@ def run_response_time_experiment(dataset_names: Sequence[str],
             measurements = run_algorithm_sweep(
                 algorithm, points, [float(e) for e in sweep], trials=trials,
                 n_threads=n_threads)
-            for eps, (mean, std, pairs) in zip(sweep, measurements):
+            for eps, measured in zip(sweep, measurements):
+                mean, std, pairs = measured
+                extra = {k: float(v) for k, v in
+                         getattr(measured, "schedule", {}).items()}
                 result.add(TimingRecord(dataset=name, eps=float(eps),
                                         algorithm=algorithm, time_s=mean,
                                         time_std=std, num_pairs=pairs,
-                                        n_points=points.shape[0]))
+                                        n_points=points.shape[0],
+                                        extra=extra))
     return result

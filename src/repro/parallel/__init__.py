@@ -23,6 +23,15 @@ multi-core speedups on that exact decomposition:
 * :mod:`~repro.parallel.cupy_backend` (``cupy``, lazily registered) is the
   real-GPU backend seam: it is listed by the registry everywhere, reported
   unavailable with the missing dependency where CuPy is not installed.
+* :mod:`~repro.parallel.scheduler` is the **adaptive scheduling layer**
+  shared by the concurrent backends: plans oversplit into
+  ``OVERSPLIT_FACTOR`` shards per worker and workers *pull* the next shard
+  as they finish.  The multiprocess pool's task queue is the pull mechanism
+  directly; the distributed backend drives the full
+  :class:`~repro.parallel.scheduler.WorkStealingScheduler` — steal, mid-join
+  resplit, throughput-tracked rebalance, hedging only as last resort — with
+  :class:`~repro.parallel.scheduler.OrderedShardMerger` keeping results
+  bit-identical to a static run no matter the completion order.
 
 Both register with the engine's backend registry (lazily, from
 :mod:`repro.engine.backends`), so ``Engine[sharded]`` and
@@ -43,13 +52,25 @@ from repro.parallel.shards import (
 )
 from repro.parallel.sharded import ShardedBackend
 from repro.parallel.mp import MultiprocessBackend, MultiprocessStats
+from repro.parallel.scheduler import (
+    OVERSPLIT_FACTOR,
+    OrderedShardMerger,
+    ScheduleReport,
+    ShardTask,
+    WorkStealingScheduler,
+)
 
 __all__ = [
+    "OVERSPLIT_FACTOR",
+    "OrderedShardMerger",
+    "ScheduleReport",
     "ShardPlan",
     "ShardPlanner",
+    "ShardTask",
     "ShardedBackend",
     "MultiprocessBackend",
     "MultiprocessStats",
+    "WorkStealingScheduler",
     "default_worker_count",
     "merge_fragments",
 ]

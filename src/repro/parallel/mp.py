@@ -10,6 +10,17 @@ arrays.  Workers return their shard's pair fragments as two plain int64
 arrays (cheap to pickle); the parent emits them into the caller's sink, so
 the merge path is identical to the serial sharded backend's.
 
+Scheduling is **pull-based** (see :mod:`repro.parallel.scheduler`): the
+planner oversplits into ``OVERSPLIT_FACTOR`` (~4×) shards per worker,
+dispatch goes largest-cost-first through ``imap_unordered(chunksize=1)``,
+and each pool worker fetches its next shard the moment it finishes one — a
+slow worker simply pulls fewer shards while fast peers absorb its share.
+Completions arrive in any order; the parent buffers them and emits strictly
+in shard-id (B) order, so results stay bit-identical to the serial sharded
+run regardless of which worker ran what.  The observed schedule (per-worker
+throughput, steals beyond fair share, achieved-vs-predicted cost ratio) is
+reported in ``KernelStats.schedule_counts`` and ``backend.last_schedule``.
+
 Two execution modes share those worker kernels:
 
 **One-shot** (no session): a fresh pool per operator call, the dataset
@@ -55,10 +66,11 @@ import hashlib
 import multiprocessing
 import os
 import sys
+import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -74,17 +86,17 @@ from repro.engine.backends import (
     register_backend,
     _probe_rows,
 )
+from repro.parallel.scheduler import (
+    OVERSPLIT_FACTOR,
+    ShardTask,
+    pool_schedule_report,
+)
 from repro.parallel.shards import ShardPlanner, default_worker_count
 
 try:
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover - platforms without shm support
     _shm = None
-
-#: Shards created per worker; mild oversubscription smooths out estimation
-#: error in the sampled per-cell costs (a worker that finishes its cheap
-#: shard early picks up another instead of idling).
-SHARDS_PER_WORKER = 2
 
 #: Environment override for the pool start method (``fork`` / ``spawn`` /
 #: ``forkserver``); the platform default when unset.
@@ -122,28 +134,38 @@ def _init_worker(points: np.ndarray, queries: Optional[np.ndarray],
     _WORKER["max_candidate_pairs"] = int(max_candidate_pairs)
 
 
-def _run_selfjoin_shard(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
-    """Worker task: self-join one cell shard, return its flat pair arrays."""
-    cells, eps, unicomp = task
+def _run_selfjoin_shard(task):
+    """Worker task: self-join one cell shard, return its flat pair arrays.
+
+    Every worker kernel returns ``(shard_id, keys, values, stats, pid,
+    duration)``: the shard id keys the parent's deterministic B-order merge
+    (tasks complete in *pull* order, not plan order), and the pid/duration
+    pair feeds :func:`repro.parallel.scheduler.pool_schedule_report`.
+    """
+    shard_id, cells, eps, unicomp = task
+    started = time.perf_counter()
     index = _WORKER["index"]
     sink = PairFragments(index.num_points)
     stats = _WORKER["backend"].run_selfjoin(
         index, eps, cells, sink, unicomp=unicomp,
         max_candidate_pairs=_WORKER["max_candidate_pairs"])
     keys, values = sink.concatenated()
-    return keys, values, stats
+    return shard_id, keys, values, stats, os.getpid(), \
+        time.perf_counter() - started
 
 
-def _run_probe_shard(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
+def _run_probe_shard(task):
     """Worker task: probe one row group, return its flat pair arrays."""
-    rows, eps, num_rows = task
+    shard_id, rows, eps, num_rows = task
+    started = time.perf_counter()
     index = _WORKER["index"]
     sink = PairFragments(num_rows)
     stats = _WORKER["backend"].run_probe(
         _WORKER["queries"], index, eps, sink, rows=rows,
         max_candidate_pairs=_WORKER["max_candidate_pairs"])
     keys, values = sink.concatenated()
-    return keys, values, stats
+    return shard_id, keys, values, stats, os.getpid(), \
+        time.perf_counter() - started
 
 
 # --------------------------------------------------------------------------
@@ -233,7 +255,7 @@ def _session_index(index_eps: float) -> GridIndex:
     return index
 
 
-def _run_session_selfjoin(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
+def _run_session_selfjoin(task):
     """Persistent-pool task: self-join one cell shard of the session dataset.
 
     A store-backed worker indexes the *stored* (B-order) rows; the grid —
@@ -242,7 +264,8 @@ def _run_session_selfjoin(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
     stored-row positions and are translated back to original dataset ids
     through the store's id directory before returning.
     """
-    index_eps, cells, eps, unicomp, max_candidate_pairs = task
+    shard_id, index_eps, cells, eps, unicomp, max_candidate_pairs = task
+    started = time.perf_counter()
     index = _session_index(index_eps)
     sink = PairFragments(index.num_points)
     stats = get_backend(_SESSION_WORKER["inner"]).run_selfjoin(
@@ -252,10 +275,11 @@ def _run_session_selfjoin(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
     ids = _SESSION_WORKER["ids"]
     if ids is not None:
         keys, values = np.asarray(ids)[keys], np.asarray(ids)[values]
-    return keys, values, stats
+    return shard_id, keys, values, stats, os.getpid(), \
+        time.perf_counter() - started
 
 
-def _run_session_probe(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
+def _run_session_probe(task):
     """Persistent-pool task: probe one row group against the session dataset.
 
     ``queries is None`` means the probe side *is* the session dataset (the
@@ -266,7 +290,8 @@ def _run_session_probe(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
     the slice and the parent re-bases them onto the global rows, so each
     query row is pickled exactly once per query, not once per task.
     """
-    index_eps, rows, eps, num_rows, queries, max_candidate_pairs = task
+    shard_id, index_eps, rows, eps, num_rows, queries, max_candidate_pairs = task
+    started = time.perf_counter()
     index = _session_index(index_eps)
     if queries is None:
         queries = _SESSION_WORKER["points"]
@@ -282,7 +307,8 @@ def _run_session_probe(task) -> Tuple[np.ndarray, np.ndarray, KernelStats]:
         # probe-slice rows (store sessions always ship probe slices) and
         # are re-based by the parent.
         values = np.asarray(ids)[values]
-    return keys, values, stats
+    return shard_id, keys, values, stats, os.getpid(), \
+        time.perf_counter() - started
 
 
 # --------------------------------------------------------------------------
@@ -354,6 +380,10 @@ class MultiprocessStats:
     shm_segments_created: int = 0
     shm_segments_released: int = 0
     tasks_dispatched: int = 0
+    #: Shards absorbed by a worker beyond its fair share of the pull queue
+    #: (see :func:`repro.parallel.scheduler.pool_schedule_report`) — the
+    #: pool-mode measure of work stolen from slower workers.
+    shards_stolen: int = 0
 
 
 def _shutdown_state(state: _SessionPool) -> bool:
@@ -408,7 +438,8 @@ class MultiprocessBackend(ExecutionBackend):
     inner:
         Backend executed per shard inside the workers.
     n_shards:
-        Shard count (``n_workers * SHARDS_PER_WORKER`` when omitted).
+        Shard count (``n_workers * scheduler.OVERSPLIT_FACTOR`` when
+        omitted — the pull queue's rebalancing slack).
     start_method:
         ``multiprocessing`` start method override.
     max_idle:
@@ -460,6 +491,9 @@ class MultiprocessBackend(ExecutionBackend):
         self.use_shared_memory = bool(use_shared_memory)
         self.seed = int(seed)
         self.stats = MultiprocessStats()
+        #: :class:`~repro.parallel.scheduler.ScheduleReport` of the most
+        #: recent operator call (None before any dispatch).
+        self.last_schedule = None
         self._active: Dict[tuple, _SessionPool] = {}
         self._idle: "OrderedDict[tuple, _SessionPool]" = OrderedDict()
         self._finalizer = weakref.finalize(self, _shutdown_states,
@@ -483,7 +517,7 @@ class MultiprocessBackend(ExecutionBackend):
         return self.n_workers or default_worker_count()
 
     def _resolved_shards(self, n_workers: int) -> int:
-        return self.n_shards or n_workers * SHARDS_PER_WORKER
+        return self.n_shards or n_workers * OVERSPLIT_FACTOR
 
     def _context(self):
         method = self.start_method or os.environ.get(START_METHOD_ENV_VAR)
@@ -650,12 +684,53 @@ class MultiprocessBackend(ExecutionBackend):
         return None
 
     # ------------------------------------------------------------- operators
-    def _run_pool(self, initargs, worker_fn, tasks, sink, n_workers: int,
-                  ) -> KernelStats:
-        """One-shot path: run ``tasks`` on a fresh pool, merge into ``sink``."""
+    def _drain_pool(self, pool, worker_fn, tasks, costs, sink, n_workers: int,
+                    key_maps=None) -> KernelStats:
+        """Pull-dispatch ``tasks`` onto ``pool``; merge in shard-id order.
+
+        The pool's internal task queue is the pull mechanism: with
+        ``chunksize=1`` and ``imap_unordered`` each worker fetches its next
+        shard the moment it finishes one, so a slow worker simply pulls
+        fewer shards while fast peers absorb the rest.  Dispatch order is
+        **largest cost first** (the tail of the join is then made of small
+        shards); completions arrive in any order and are buffered until
+        emitted strictly in shard-id (B) order, so the merged pair stream is
+        bit-identical to the serial sharded run.
+
+        ``key_maps`` (aligned with ``tasks`` by shard id) re-bases a task's
+        locally keyed result rows onto global row ids (``None``: as-is).
+        """
         stats = KernelStats()
+        order = sorted(range(len(tasks)),
+                       key=lambda i: (-float(costs[i]), i))
+        executions: List[Tuple[Tuple[int, ...], str, float]] = []
+        results: Dict[int, Tuple[np.ndarray, np.ndarray, KernelStats]] = {}
+        for shard_id, keys, values, shard_stats, pid, duration in \
+                pool.imap_unordered(worker_fn, [tasks[i] for i in order],
+                                    chunksize=1):
+            results[shard_id] = (keys, values, shard_stats)
+            executions.append(((shard_id,), f"pid-{pid}", float(duration)))
+        for i in range(len(tasks)):
+            keys, values, shard_stats = results[i]
+            if key_maps is not None and key_maps[i] is not None:
+                keys = key_maps[i][keys]
+            sink.emit(keys, values)
+            stats.merge(shard_stats)
+        report = pool_schedule_report(
+            [ShardTask(key=(i,), cost=float(costs[i]))
+             for i in range(len(tasks))],
+            sorted(executions), n_workers,
+            achieved_cost=float(stats.distance_calcs))
+        stats.schedule_counts = report.counts()
+        self.stats.shards_stolen += report.steals
+        self.last_schedule = report
+        return stats
+
+    def _run_pool(self, initargs, worker_fn, tasks, costs, sink,
+                  n_workers: int) -> KernelStats:
+        """One-shot path: run ``tasks`` on a fresh pool, merge into ``sink``."""
         if not tasks:
-            return stats
+            return KernelStats()
         n_workers = max(1, min(n_workers, len(tasks)))
         ctx = self._context()
         self.stats.datasets_shipped += 1
@@ -663,31 +738,19 @@ class MultiprocessBackend(ExecutionBackend):
         with ctx.Pool(processes=n_workers, initializer=_init_worker,
                       initargs=initargs) as pool:
             self.stats.pools_created += 1
-            results = pool.map(worker_fn, tasks, chunksize=1)
+            stats = self._drain_pool(pool, worker_fn, tasks, costs, sink,
+                                     n_workers)
         self.stats.pools_shut_down += 1
-        for keys, values, shard_stats in results:
-            sink.emit(keys, values)
-            stats.merge(shard_stats)
         return stats
 
     def _run_session_tasks(self, state: _SessionPool, worker_fn, tasks,
-                           sink, key_maps=None) -> KernelStats:
-        """Persistent path: dispatch onto the warm pool, merge into ``sink``.
-
-        ``key_maps`` (aligned with ``tasks``) re-bases a task's locally
-        keyed result rows onto global row ids (``None`` entries emit as-is).
-        """
-        stats = KernelStats()
+                           costs, sink, key_maps=None) -> KernelStats:
+        """Persistent path: dispatch onto the warm pool, merge into ``sink``."""
         if not tasks:
-            return stats
+            return KernelStats()
         self.stats.tasks_dispatched += len(tasks)
-        results = state.pool.map(worker_fn, tasks, chunksize=1)
-        for i, (keys, values, shard_stats) in enumerate(results):
-            if key_maps is not None and key_maps[i] is not None:
-                keys = key_maps[i][keys]
-            sink.emit(keys, values)
-            stats.merge(shard_stats)
-        return stats
+        return self._drain_pool(state.pool, worker_fn, tasks, costs, sink,
+                                state.n_workers, key_maps=key_maps)
 
     def run_selfjoin(self, index, eps, cells, sink, *, unicomp=False,
                      max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS,
@@ -695,20 +758,26 @@ class MultiprocessBackend(ExecutionBackend):
         n_workers = self._resolved_workers()
         plan = ShardPlanner(n_shards=self._resolved_shards(n_workers),
                             seed=self.seed).plan(index, cells)
-        shards = [shard for shard in plan.shards if shard.shape[0]]
+        shards, costs = [], []
+        for shard, cost in zip(plan.shards, plan.estimated_costs):
+            if shard.shape[0]:
+                shards.append(shard)
+                costs.append(float(cost))
 
         state = self._session_pool_for(index.points)
         if state is not None:
-            tasks = [(float(index.eps), shard, float(eps), bool(unicomp),
-                      int(max_candidate_pairs)) for shard in shards]
+            tasks = [(i, float(index.eps), shard, float(eps), bool(unicomp),
+                      int(max_candidate_pairs))
+                     for i, shard in enumerate(shards)]
             return self._run_session_tasks(state, _run_session_selfjoin,
-                                           tasks, sink)
+                                           tasks, costs, sink)
 
-        tasks = [(shard, float(eps), bool(unicomp)) for shard in shards]
+        tasks = [(i, shard, float(eps), bool(unicomp))
+                 for i, shard in enumerate(shards)]
         initargs = (index.points, None, float(index.eps), self.inner_name,
                     int(max_candidate_pairs))
-        return self._run_pool(initargs, _run_selfjoin_shard, tasks, sink,
-                              n_workers)
+        return self._run_pool(initargs, _run_selfjoin_shard, tasks, costs,
+                              sink, n_workers)
 
     def run_probe(self, queries, index, eps, sink, *, rows=None,
                   max_candidate_pairs=DEFAULT_MAX_CANDIDATE_PAIRS) -> KernelStats:
@@ -716,11 +785,14 @@ class MultiprocessBackend(ExecutionBackend):
         if rows.shape[0] == 0:
             return KernelStats()
         n_workers = self._resolved_workers()
-        costs = estimate_probe_row_costs(queries[rows], index, seed=self.seed)
-        groups = [rows[group]
-                  for group in split_by_cost(costs,
-                                             self._resolved_shards(n_workers))
-                  if group.shape[0]]
+        row_costs = estimate_probe_row_costs(queries[rows], index,
+                                             seed=self.seed)
+        groups, costs = [], []
+        for group in split_by_cost(row_costs,
+                                   self._resolved_shards(n_workers)):
+            if group.shape[0]:
+                groups.append(rows[group])
+                costs.append(float(row_costs[group].sum()))
 
         state = self._session_pool_for(index.points)
         if state is not None:
@@ -728,8 +800,9 @@ class MultiprocessBackend(ExecutionBackend):
                 # The session dataset probing itself (self-kNN,
                 # range-over-self) resolves to the workers' shared view:
                 # nothing but the row ids travels.
-                tasks = [(float(index.eps), group, float(eps), sink.num_rows,
-                          None, int(max_candidate_pairs)) for group in groups]
+                tasks = [(i, float(index.eps), group, float(eps),
+                          sink.num_rows, None, int(max_candidate_pairs))
+                         for i, group in enumerate(groups)]
                 key_maps = None
             else:
                 # External query set — and *any* probe on a store-backed
@@ -740,16 +813,19 @@ class MultiprocessBackend(ExecutionBackend):
                 # slice-local keys that are re-based onto the global rows
                 # here.
                 queries_arr = np.asarray(queries, dtype=np.float64)
-                tasks = [(float(index.eps), None, float(eps), sink.num_rows,
-                          queries_arr[group],
-                          int(max_candidate_pairs)) for group in groups]
+                tasks = [(i, float(index.eps), None, float(eps),
+                          sink.num_rows, queries_arr[group],
+                          int(max_candidate_pairs))
+                         for i, group in enumerate(groups)]
                 key_maps = groups
             return self._run_session_tasks(state, _run_session_probe,
-                                           tasks, sink, key_maps=key_maps)
+                                           tasks, costs, sink,
+                                           key_maps=key_maps)
 
-        tasks = [(group, float(eps), sink.num_rows) for group in groups]
+        tasks = [(i, group, float(eps), sink.num_rows)
+                 for i, group in enumerate(groups)]
         initargs = (index.points, np.asarray(queries, dtype=np.float64),
                     float(index.eps), self.inner_name,
                     int(max_candidate_pairs))
-        return self._run_pool(initargs, _run_probe_shard, tasks, sink,
-                              n_workers)
+        return self._run_pool(initargs, _run_probe_shard, tasks, costs,
+                              sink, n_workers)

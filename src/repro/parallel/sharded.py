@@ -113,6 +113,11 @@ class ShardedBackend(ExecutionBackend):
                 threads_per_block=threads_per_block))
             parts.append(part)
         sink.extend(merge_fragments(index.num_points, parts))
+        # Serial execution of the plan: shards ran in order, nothing was
+        # stolen or resplit — the zeroed counters make that explicit next
+        # to the concurrent backends' reports.
+        stats.schedule_counts = {"shards": len(plan.shards), "steals": 0,
+                                 "resplits": 0, "hedges": 0}
         return stats
 
     def run_probe(self, queries, index, eps, sink, *, rows=None,

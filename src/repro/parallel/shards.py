@@ -58,11 +58,17 @@ class ShardPlan:
         empty cell subset holds a single empty shard.
     estimated_costs:
         Estimated work per shard, aligned with ``shards``.
+    cell_costs:
+        Per-cell cost estimates, one array per shard aligned with its cell
+        array.  The adaptive scheduler uses these to place the cost-weighted
+        ``B``-order boundary when it splits an in-flight shard
+        (:meth:`repro.parallel.scheduler.ShardTask.split`).
     """
 
     shards: List[np.ndarray]
     estimated_costs: np.ndarray = field(
         default_factory=lambda: np.zeros(0, dtype=np.float64))
+    cell_costs: List[np.ndarray] = field(default_factory=list)
 
     @property
     def n_shards(self) -> int:
@@ -117,14 +123,16 @@ class ShardPlanner:
         n_shards = self.n_shards or default_worker_count()
         if cells.shape[0] == 0:
             return ShardPlan(shards=[np.empty(0, dtype=np.int64)],
-                             estimated_costs=np.zeros(1, dtype=np.float64))
+                             estimated_costs=np.zeros(1, dtype=np.float64),
+                             cell_costs=[np.empty(0, dtype=np.float64)])
         costs = estimate_cell_costs(index, sample_fraction=self.sample_fraction,
                                     max_sample_cells=self.max_sample_cells,
                                     seed=self.seed)[cells]
         slices = split_by_cost(costs, n_shards)
         return ShardPlan(
             shards=[cells[s] for s in slices],
-            estimated_costs=np.array([float(costs[s].sum()) for s in slices]))
+            estimated_costs=np.array([float(costs[s].sum()) for s in slices]),
+            cell_costs=[costs[s].astype(np.float64) for s in slices])
 
 
 def merge_fragments(num_rows: int,

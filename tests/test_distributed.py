@@ -228,9 +228,27 @@ class TestFaultInjection:
         finally:
             pool.shutdown()
 
-    def test_straggler_is_hedged(self):
-        # One slow shard, two workers: after hedge_after the idle worker
-        # gets a duplicate; results dedupe by shard id.
+    def test_straggler_is_hedged_under_static_scheduling(self):
+        # One slow shard, two workers, static scheduling (no steal/resplit):
+        # after hedge_after the idle worker gets a duplicate; results dedupe
+        # by shard id.
+        points = uniform_dataset(150, 2, seed=65, low=0.0, high=4.0)
+        eps = 0.9
+        reference = run_query(Query.self_join(points, eps)).neighbor_table
+        with WorkerThread() as w1, WorkerThread() as w2:
+            backend = DistributedBackend(
+                *[f"{h}:{p}" for h, p in (w1.address, w2.address)],
+                n_shards=1, hedge_after=0.05, debug_shard_sleep_ms=200.0,
+                scheduling="static")
+            with EngineSession(points, backend=backend) as session:
+                got = session.self_join(eps)
+            assert got.neighbor_table.same_contents_as(reference)
+            assert backend.stats.shards_hedged >= 1
+
+    def test_straggler_is_resplit_not_hedged_under_adaptive(self):
+        # Same single-slow-shard setup under the adaptive scheduler: the
+        # idle worker splits the in-flight shard at a B-order boundary and
+        # races the halves, so hedging (a full duplicate) never fires.
         points = uniform_dataset(150, 2, seed=65, low=0.0, high=4.0)
         eps = 0.9
         reference = run_query(Query.self_join(points, eps)).neighbor_table
@@ -241,7 +259,8 @@ class TestFaultInjection:
             with EngineSession(points, backend=backend) as session:
                 got = session.self_join(eps)
             assert got.neighbor_table.same_contents_as(reference)
-            assert backend.stats.shards_hedged >= 1
+            assert backend.stats.shards_resplit >= 1
+            assert backend.stats.shards_hedged == 0
 
     def test_all_workers_dead_raises(self):
         points = uniform_dataset(100, 2, seed=66, low=0.0, high=4.0)
